@@ -1,0 +1,6 @@
+"""Shared helpers for the benchmark suite (import as `benchutil`)."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

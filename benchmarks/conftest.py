@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+Every benchmark regenerates one table or figure from DESIGN.md's
+experiment index.  Heavy end-to-end experiments run with ``rounds=1``
+(they are simulations, not microbenchmarks); hot-path microbenchmarks
+use normal pytest-benchmark calibration.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated tables and figures.
+"""

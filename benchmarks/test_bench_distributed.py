@@ -1,0 +1,33 @@
+"""E6 — distributed supervision across ECU borders (outlook extension).
+
+Regenerates the node-crash / degradation / recovery study on the
+two-node rig and the crash-detection-latency sweep over the remote
+supervisor's check window.
+"""
+
+from benchutil import run_once
+
+from repro.analysis import format_table
+from repro.experiments import (
+    run_distributed_supervision,
+    run_supervision_latency_sweep,
+)
+
+
+def test_bench_distributed_supervision(benchmark):
+    report = run_once(benchmark, run_distributed_supervision)
+    assert report.crash_detect_latency_ms <= 70.0
+    assert report.healthy_peer_verdict == "ok"
+    assert report.recovered_verdict == "ok"
+    print()
+    for key, value in report.__dict__.items():
+        print(f"  {key}: {value}")
+
+
+def test_bench_supervision_latency_sweep(benchmark):
+    rows = run_once(benchmark, run_supervision_latency_sweep)
+    assert all(r["detected"] for r in rows)
+    latencies = [r["detect_latency_ms"] for r in rows]
+    assert latencies == sorted(latencies)
+    print()
+    print(format_table(rows))

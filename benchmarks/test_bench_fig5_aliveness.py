@@ -1,0 +1,27 @@
+"""F5 (Figure 5) — test with injected aliveness error.
+
+Regenerates the paper's Figure 5: the SafeSpeed task slowed via the
+time-scalar slider, the focus runnable's AC/CCA counters and the
+cumulative "AM Result" curve captured at 10 ms samples.
+"""
+
+from benchutil import run_once
+
+from repro.experiments import run_figure5
+from repro.kernel import ms, seconds
+
+
+def test_bench_figure5(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure5,
+        warmup=seconds(1),
+        faulty_window=seconds(1),
+        recovery=ms(500),
+    )
+    assert result.measurement("errors_before_injection") == 0
+    assert result.measurement("errors_during_fault") > 10
+    assert result.measurement("errors_after_recovery") <= 3
+    print()
+    print(result.rendered)
+    print("measured:", {k: v for k, v in result.measurements.items()})

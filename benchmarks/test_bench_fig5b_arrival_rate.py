@@ -1,0 +1,27 @@
+"""F5b (stated in §4.5) — test with injected arrival rate error.
+
+Regenerates the arrival-rate evaluation case: a manipulated loop
+counter repeats a runnable, the ARC/CCAR counters overflow and the
+"ARM Result" curve steps up.
+"""
+
+from benchutil import run_once
+
+from repro.experiments import run_figure5b
+from repro.kernel import ms, seconds
+
+
+def test_bench_figure5b(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure5b,
+        warmup=seconds(1),
+        faulty_window=seconds(1),
+        recovery=ms(500),
+    )
+    assert result.measurement("errors_before_injection") == 0
+    assert result.measurement("errors_during_fault") > 10
+    assert result.measurement("errors_after_recovery") <= 3
+    print()
+    print(result.rendered)
+    print("measured:", {k: v for k, v in result.measurements.items()})

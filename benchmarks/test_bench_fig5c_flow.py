@@ -1,0 +1,27 @@
+"""F5c (stated in §4.5) — test with injected control flow error.
+
+Regenerates the control-flow evaluation case: an invalid execution
+branch bypasses a runnable; the look-up-table checker flags every
+occurrence and the "PFC Result" curve steps up.
+"""
+
+from benchutil import run_once
+
+from repro.experiments import run_figure5c
+from repro.kernel import ms, seconds
+
+
+def test_bench_figure5c(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure5c,
+        warmup=seconds(1),
+        faulty_window=seconds(1),
+        recovery=ms(500),
+    )
+    assert result.measurement("errors_before_injection") == 0
+    assert result.measurement("errors_during_fault") > 10
+    assert result.measurement("errors_after_recovery") <= 3
+    print()
+    print(result.rendered)
+    print("measured:", {k: v for k, v in result.measurements.items()})

@@ -1,0 +1,23 @@
+"""F6 (Figure 6) — collaboration of the fault detection units.
+
+Regenerates the paper's Figure 6: aliveness errors whose real cause is
+a program-flow fault; after three PFC errors (the threshold) the task
+state flips to faulty while at most one accumulated aliveness error has
+been reported — root cause identified.
+"""
+
+from benchutil import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_bench_figure6(benchmark):
+    result = run_once(benchmark, run_figure6)
+    assert result.measurement("task_faulty")
+    assert result.measurement("pfc_errors_at_task_fault") == 3
+    assert result.measurement("aliveness_errors_at_task_fault") <= 1
+    state = result.series["TaskState_SafeSpeed"]
+    assert state[0] == 0 and state[-1] == 1
+    print()
+    print(result.rendered)
+    print("measured:", {k: v for k, v in result.measurements.items()})

@@ -1,0 +1,25 @@
+"""E7 — release-offset ablation: alarms vs schedule tables.
+
+Regenerates the worst-case-response comparison between synchronous
+alarm releases and staggered schedule-table releases under a
+non-harmonic interferer.
+"""
+
+from benchutil import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_jitter_ablation
+
+
+def test_bench_jitter_ablation(benchmark):
+    rows = run_once(benchmark, run_jitter_ablation)
+    by_key = {(r["task"], r["release_scheme"]): r for r in rows}
+    schemes = sorted({r["release_scheme"] for r in rows})
+    alarm_scheme = next(s for s in schemes if "alarm" in s)
+    table_scheme = next(s for s in schemes if "table" in s)
+    assert (
+        by_key[("Gamma", table_scheme)]["worst_response_us"]
+        < by_key[("Gamma", alarm_scheme)]["worst_response_us"]
+    )
+    print()
+    print(format_table(rows))

@@ -1,0 +1,67 @@
+"""Simulator performance: the substrate's own throughput.
+
+Not a paper figure — these benchmarks size the simulation substrate
+itself (events per second, simulated-time throughput vs task count), so
+users can budget campaign sizes.
+"""
+
+from repro.kernel import (
+    AlarmTable,
+    EventQueue,
+    Kernel,
+    Runnable,
+    Task,
+    ms,
+    runnable_sequence_body,
+    seconds,
+)
+
+
+def test_bench_event_queue_schedule_pop(benchmark):
+    queue = EventQueue()
+    state = {"t": 0}
+
+    def schedule_and_pop():
+        state["t"] += 10
+        queue.schedule(state["t"], lambda: None)
+        queue.pop_next(state["t"])
+
+    benchmark(schedule_and_pop)
+
+
+def test_bench_kernel_simulated_second_10_tasks(benchmark):
+    """Wall-clock cost of one simulated second with ten periodic tasks."""
+
+    def run_one_second():
+        kernel = Kernel(trace_capacity=1000)
+        alarms = AlarmTable(kernel)
+        for i in range(10):
+            runnable = Runnable(f"r{i}", kernel, wcet=ms(0.5))
+            kernel.add_task(Task(f"T{i}", i, runnable_sequence_body([runnable])))
+            alarms.alarm_activate_task(f"A{i}", f"T{i}").set_rel(
+                ms(10 + i), ms(10 + i)
+            )
+        kernel.run_until(seconds(1))
+        return kernel
+
+    kernel = benchmark.pedantic(run_one_second, rounds=3, iterations=1)
+    assert kernel.clock.now == seconds(1)
+
+
+def test_bench_context_switch_rate(benchmark):
+    """Preemption-heavy workload: alternating high/low priority tasks."""
+
+    def run_switchy():
+        kernel = Kernel(trace_capacity=1000)
+        alarms = AlarmTable(kernel)
+        low = Runnable("low", kernel, wcet=ms(9))
+        kernel.add_task(Task("Low", 1, runnable_sequence_body([low])))
+        hi = Runnable("hi", kernel, wcet=ms(1))
+        kernel.add_task(Task("Hi", 9, runnable_sequence_body([hi])))
+        alarms.alarm_activate_task("L", "Low").set_rel(ms(10), ms(10))
+        alarms.alarm_activate_task("H", "Hi").set_rel(ms(3), ms(3))
+        kernel.run_until(seconds(1))
+        return kernel
+
+    kernel = benchmark.pedantic(run_switchy, rounds=3, iterations=1)
+    assert kernel.tasks["Low"].preemption_count > 100

@@ -1,0 +1,20 @@
+"""E3 — detection latency per fault class and check mode.
+
+Regenerates the latency table, including the period-end vs
+eager-arrival ablation of DESIGN.md.
+"""
+
+from benchutil import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_latency_study
+
+
+def test_bench_latency_study(benchmark):
+    rows = run_once(benchmark, run_latency_study, repetitions=1)
+    assert all(r["detected"] == 1.0 for r in rows)
+    by_mode = {(r["fault"], r["check_mode"]): r["mean_latency_ms"] for r in rows}
+    key = "arrival rate (loop counter)"
+    assert by_mode[(key, "eager-arrival")] < by_mode[(key, "period-end")]
+    print()
+    print(format_table(rows))

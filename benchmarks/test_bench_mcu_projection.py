@@ -1,0 +1,39 @@
+"""E2b — watchdog cost projected onto the outlook's target MCU (S12XF).
+
+The paper's outlook evaluates "functionalities and performance ... on an
+evaluation microcontroller S12XF from Freescale"; this bench projects
+the measured primitive-operation mix onto S12X-class and Cortex-M-class
+cycle budgets.
+"""
+
+from repro.analysis import S12XF, format_table, project_cpu_load, projection_rows
+
+
+def test_bench_mcu_projection(benchmark):
+    rows = benchmark(projection_rows)
+    assert all(r["cpu_percent"] < 1.0 for r in rows)
+    print()
+    print(format_table(rows))
+
+
+def test_bench_s12xf_headroom(benchmark):
+    """Sweep monitored-runnable count: where does the S12XF saturate?"""
+
+    def sweep():
+        out = []
+        for runnables in (9, 30, 100, 300):
+            load = project_cpu_load(
+                S12XF,
+                monitored_runnables=runnables,
+                heartbeats_per_second=runnables * 100.0,
+                check_period_s=0.01,
+            )
+            out.append({"runnables": runnables,
+                        "cpu_percent": round(100 * load["cpu_fraction"], 2)})
+        return out
+
+    rows = benchmark(sweep)
+    assert rows[0]["cpu_percent"] < 1.0
+    assert rows[-1]["cpu_percent"] > rows[0]["cpu_percent"]
+    print()
+    print(format_table(rows))

@@ -1,0 +1,84 @@
+"""E2 — overhead: look-up-table PFC vs CFCSS, watchdog CPU share,
+passive vs polling bookkeeping.
+
+Regenerates the overhead tables behind §3.2.2's design argument, plus a
+wall-clock microbenchmark of the two flow-check primitives.
+"""
+
+from benchutil import run_once
+
+from repro.analysis import format_table
+from repro.baselines import CfcssChecker
+from repro.analysis.overhead import build_runnable_cfg
+from repro.core.flowcheck import FlowTable, ProgramFlowCheckingUnit
+from repro.experiments import (
+    flow_checking_rows,
+    passive_vs_polling_rows,
+    watchdog_cpu_rows,
+)
+from repro.kernel import ms, seconds
+
+
+def test_bench_flow_checking_comparison(benchmark):
+    rows = run_once(benchmark, flow_checking_rows, executions=500)
+    by = {r["technique"]: r for r in rows}
+    assert by["lookup-table"]["runtime_ops"] * 10 <= by["CFCSS"]["runtime_ops"]
+    print()
+    print(format_table(rows))
+
+
+def test_bench_watchdog_cpu_share(benchmark):
+    rows = run_once(
+        benchmark, watchdog_cpu_rows,
+        periods=[ms(5), ms(10), ms(20)], check_costs=[10, 50, 200],
+        horizon=seconds(2),
+    )
+    paper_point = next(
+        r for r in rows
+        if r["watchdog_period_ms"] == 10.0 and r["check_cost_us"] == 50
+    )
+    assert paper_point["cpu_share"] < 0.02
+    print()
+    print(format_table(rows))
+
+
+def test_bench_passive_vs_polling(benchmark):
+    rows = run_once(benchmark, passive_vs_polling_rows)
+    print()
+    print(format_table(rows))
+
+
+def test_bench_lookup_probe_wallclock(benchmark):
+    """Wall-clock cost of one look-up-table probe."""
+    table = FlowTable()
+    table.allow_cycle(["A", "B", "C"])
+    pfc = ProgramFlowCheckingUnit(table)
+    state = {"i": 0}
+    names = ["A", "B", "C"]
+
+    def probe():
+        pfc.observe(names[state["i"]], 0)
+        state["i"] = (state["i"] + 1) % 3
+
+    benchmark(probe)
+    assert pfc.violation_count == 0
+
+
+def test_bench_cfcss_step_wallclock(benchmark):
+    """Wall-clock cost of one CFCSS signature update (per basic block —
+    and a runnable has many basic blocks)."""
+    graph = build_runnable_cfg(["A", "B", "C"], blocks_per_runnable=10)
+    checker = CfcssChecker(graph, "A.b0")
+    walk = [b for b in graph.blocks() if not b.endswith(".alt")]
+    state = {"i": 0}
+    checker.start()
+
+    def step():
+        i = state["i"]
+        if i == 0:
+            checker.start()
+        else:
+            checker.step(walk[i])
+        state["i"] = (i + 1) % len(walk)
+
+    benchmark(step)

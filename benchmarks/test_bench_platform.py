@@ -1,0 +1,38 @@
+"""F1 (Figure 1) — EASIS software topology: construction and lookups.
+
+Regenerates the layered-platform structure and benchmarks the service
+framework's hot paths (interface resolution is on the heartbeat path in
+a registry-mediated deployment).
+"""
+
+from repro.platform import (
+    Layer,
+    ServiceRegistry,
+    build_easis_topology,
+)
+from repro.platform.services import DependabilityService
+
+
+def test_bench_topology_construction(benchmark):
+    topo = benchmark(build_easis_topology)
+    assert topo.provider_of("watchdog.heartbeat_indication").name == "SoftwareWatchdog"
+    # Print the regenerated Figure 1 structure.
+    for layer in reversed(list(Layer)):
+        names = ", ".join(m.name for m in topo.modules_on(layer))
+        print(f"L{int(layer)}: {names}")
+
+
+def test_bench_topology_validation(benchmark):
+    topo = build_easis_topology()
+    benchmark(topo.validate)
+
+
+def test_bench_service_resolution(benchmark):
+    registry = ServiceRegistry()
+    for i in range(20):
+        svc = DependabilityService(f"Svc{i}")
+        svc.provide_interface(f"svc{i}.api", lambda: None)
+        registry.register(svc)
+    resolve = registry.resolve
+    result = benchmark(lambda: resolve("svc10.api"))
+    assert callable(result)

@@ -1,0 +1,23 @@
+"""E5 — dynamic reconfiguration / fault containment (outlook).
+
+Regenerates the containment scenario: SafeLane permanently faulty on
+the shared ECU is terminated (not reset) while SafeSpeed keeps
+regulating the vehicle speed.
+"""
+
+from benchutil import run_once
+
+from repro.experiments import run_reconfiguration
+from repro.kernel import seconds
+
+
+def test_bench_reconfiguration(benchmark):
+    report = run_once(benchmark, run_reconfiguration,
+                      observation=seconds(4), settle=seconds(3))
+    assert report.safelane_terminated
+    assert report.ecu_resets == 0
+    assert report.speed_regulated
+    assert report.detections_after_termination == 0
+    print()
+    for key, value in report.__dict__.items():
+        print(f"  {key}: {value}")

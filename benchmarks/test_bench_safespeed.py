@@ -1,0 +1,48 @@
+"""F4 (Figure 4) — SafeSpeed runnables and program flow.
+
+Benchmarks the modelled application itself: the three-runnable control
+path in closed loop with the vehicle model, and the full HIL rig's
+simulation throughput.
+"""
+
+from benchutil import run_once
+
+from repro.apps import SafeSpeedApp, Vehicle
+from repro.kernel import seconds
+from repro.validator import HilValidator
+
+
+def test_bench_safespeed_control_step(benchmark):
+    vehicle = Vehicle()
+    app = SafeSpeedApp(
+        lambda: (vehicle.state.speed_kph, 60.0),
+        lambda throttle, brake: (
+            setattr(vehicle.commands, "throttle", throttle),
+            setattr(vehicle.commands, "brake", brake),
+        ),
+    )
+
+    def control_cycle():
+        app.get_sensor_value()
+        app.safe_cc_process()
+        app.speed_process()
+        vehicle.step(0.01)
+
+    benchmark(control_cycle)
+    assert app.state.samples > 0
+
+
+def test_bench_hil_rig_throughput(benchmark):
+    """Simulated seconds per wall-clock second of the full validator."""
+
+    def run_rig():
+        rig = HilValidator()
+        rig.run(seconds(5))
+        return rig
+
+    rig = run_once(benchmark, run_rig)
+    summary = rig.summary()
+    assert summary["aliveness_errors"] == 0
+    assert summary["can_frames"] > 1000
+    print()
+    print("rig summary:", summary)

@@ -1,0 +1,39 @@
+"""F3 (Figure 3) — the model-based development tool chain.
+
+Regenerates the pipeline: functional model → mapping with RM priorities
+→ RTA schedulability proof → virtual prototype → simulation, and
+cross-validates the analytic response-time bounds against simulation.
+"""
+
+from benchutil import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_toolchain
+from repro.platform import TaskTiming, response_time_analysis
+
+
+def test_bench_toolchain_pipeline(benchmark):
+    report = run_once(benchmark, run_toolchain)
+    assert report.schedulable
+    assert report.bounds_hold
+    print()
+    rows = [
+        {
+            "task": task,
+            "rta_bound_us": report.rta_bounds[task],
+            "observed_worst_us": report.observed_worst.get(task),
+        }
+        for task in report.rta_bounds
+    ]
+    print(format_table(rows))
+    print(f"utilization: {report.utilization:.3f}")
+
+
+def test_bench_rta_microbenchmark(benchmark):
+    tasks = [
+        TaskTiming(f"T{i}", wcet=100 + 37 * i, period=1000 * (i + 1),
+                   priority=20 - i)
+        for i in range(12)
+    ]
+    result = benchmark(response_time_analysis, tasks)
+    assert result["T0"] == tasks[0].wcet

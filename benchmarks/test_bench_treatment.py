@@ -1,0 +1,38 @@
+"""E4 — fault treatment escalation (§3.4).
+
+Regenerates the threshold sweep (time-to-task-fault vs TSI threshold)
+and the restart-budget escalation table for permanent and transient
+faults.
+"""
+
+from benchutil import run_once
+
+from repro.analysis import format_table
+from repro.experiments import run_escalation_sweep, run_threshold_sweep
+from repro.kernel import ms, seconds
+
+
+def test_bench_threshold_sweep(benchmark):
+    rows = run_once(benchmark, run_threshold_sweep, thresholds=[1, 2, 3, 4, 6],
+                    observation=seconds(2))
+    times = [r.time_to_task_fault_ms for r in rows]
+    assert all(t is not None for t in times)
+    assert times == sorted(times)
+    print()
+    print(format_table([r.__dict__ for r in rows]))
+
+
+def test_bench_escalation_sweep(benchmark):
+    def sweep():
+        permanent = run_escalation_sweep(budgets=[1, 2, 4],
+                                         observation=seconds(2))
+        transient = run_escalation_sweep(budgets=[3], observation=seconds(2),
+                                         transient_duration=ms(400))
+        return permanent + transient
+
+    rows = run_once(benchmark, sweep)
+    permanent = [r for r in rows if r.fault_kind == "permanent"]
+    assert all(r.resets > 0 for r in permanent)
+    assert rows[-1].recovered  # the transient case heals
+    print()
+    print(format_table([r.__dict__ for r in rows]))

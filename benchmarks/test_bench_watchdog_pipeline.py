@@ -1,0 +1,85 @@
+"""F2 (Figure 2) — the Software Watchdog's functional architecture.
+
+Benchmarks the two hot paths of the service as deployed on an ECU:
+
+* ``heartbeat_indication`` — executed by glue code on *every* runnable
+  completion (must be cheap: it is the paper's overhead argument),
+* ``check_cycle`` — executed once per watchdog period over the whole
+  hypothesis.
+"""
+
+from repro.core import (
+    FaultHypothesis,
+    RunnableHypothesis,
+    SoftwareWatchdog,
+)
+
+
+def build_watchdog(n_runnables=20):
+    hyp = FaultHypothesis()
+    names = [f"r{i}" for i in range(n_runnables)]
+    for name in names:
+        hyp.add_runnable(
+            RunnableHypothesis(name, task="T", aliveness_period=2,
+                               arrival_period=2, max_heartbeats=3)
+        )
+    hyp.allow_sequence(names)
+    return SoftwareWatchdog(hyp), names
+
+
+def test_bench_heartbeat_indication(benchmark):
+    wd, names = build_watchdog()
+    state = {"i": 0, "t": 0}
+
+    def one_heartbeat():
+        i = state["i"]
+        wd.heartbeat_indication(names[i], state["t"], task="T")
+        state["i"] = (i + 1) % len(names)
+        if state["i"] == 0:
+            wd.notify_task_start("T")
+        state["t"] += 1
+
+    benchmark(one_heartbeat)
+    assert wd.detected_per_runnable.get(names[1], {}) == {}
+
+
+def test_bench_check_cycle_20_runnables(benchmark):
+    wd, names = build_watchdog(20)
+    state = {"t": 0}
+
+    def one_cycle():
+        wd.notify_task_start("T")
+        for name in names:
+            wd.heartbeat_indication(name, state["t"], task="T")
+        wd.check_cycle(state["t"])
+        state["t"] += 1
+
+    benchmark(one_cycle)
+    assert wd.detection_count() == 0
+
+
+def test_bench_check_cycle_200_runnables(benchmark):
+    wd, names = build_watchdog(200)
+    state = {"t": 0}
+
+    def one_cycle():
+        wd.check_cycle(state["t"])
+        state["t"] += 1
+
+    benchmark(one_cycle)
+
+
+def test_bench_end_to_end_error_path(benchmark):
+    """Heartbeat → PFC violation → TSI record → listener fan-out."""
+    wd, names = build_watchdog()
+    hits = []
+    wd.add_fault_listener(hits.append)
+    state = {"t": 0}
+
+    def illegal_heartbeat():
+        wd.notify_task_start("T")
+        wd.heartbeat_indication(names[5], state["t"], task="T")  # bad entry
+        state["t"] += 1
+
+    benchmark(illegal_heartbeat)
+    assert hits

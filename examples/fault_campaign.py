@@ -1,0 +1,38 @@
+"""Fault-injection campaign: coverage of four monitors side by side.
+
+Runs the E1 coverage study: every fault class in the catalogue is
+injected into a fresh supervised system, observed by the Software
+Watchdog, the ECU hardware watchdog, OSEKtime-style deadline monitoring
+and AUTOSAR-style execution-time monitoring.
+
+Run:  python examples/fault_campaign.py
+"""
+
+from repro.analysis import coverage_report, latency_stats
+from repro.experiments import run_coverage_campaign
+from repro.kernel import seconds
+
+
+def main() -> None:
+    print("running the coverage campaign (8 fault classes x 4 monitors)...")
+    result = run_coverage_campaign(observation=seconds(2), repetitions=1)
+
+    print()
+    print(coverage_report(result))
+
+    print()
+    stats = latency_stats(result, "SoftwareWatchdog")
+    print(
+        f"Software Watchdog latency over all detected faults: "
+        f"mean {stats.mean / 1000:.1f} ms, p95 {stats.p95 / 1000:.1f} ms, "
+        f"max {stats.maximum / 1000:.1f} ms"
+    )
+    print(
+        "\nshape check: the Software Watchdog detects runnable-granular "
+        "faults every baseline misses;\nthe baselines only see faults at "
+        "their own granularity (whole-CPU or whole-task)."
+    )
+
+
+if __name__ == "__main__":
+    main()

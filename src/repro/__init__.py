@@ -1,0 +1,49 @@
+"""repro — Software Watchdog dependability service, DSN 2007 reproduction.
+
+A full Python reproduction of "Application of Software Watchdog as a
+Dependability Software Service for Automotive Safety Relevant Systems"
+(Chen, Feng, Hiller, Lauer — DSN 2007), including every substrate the
+paper relies on:
+
+* :mod:`repro.kernel` — discrete-event OSEK-conforming kernel,
+* :mod:`repro.core` — the Software Watchdog (heartbeat monitoring,
+  program flow checking, task state indication),
+* :mod:`repro.platform` — the EASIS layered platform, Fault Management
+  Framework and ECU model,
+* :mod:`repro.network` — CAN / FlexRay / TCP-link / gateway,
+* :mod:`repro.apps` — SafeSpeed, SafeLane, steer-by-wire, vehicle and
+  environment models,
+* :mod:`repro.validator` — the HIL architecture validator and
+  ControlDesk-style experiment tooling,
+* :mod:`repro.faults` — error injection framework and campaigns,
+* :mod:`repro.baselines` — hardware watchdog, deadline monitoring,
+  execution-time monitoring, CFCSS,
+* :mod:`repro.analysis` — metrics, overhead accounting, plots.
+
+Quickstart::
+
+    from repro.kernel import ms, seconds
+    from repro.validator import HilValidator
+    from repro.faults import FaultTarget, ErrorInjector, BlockedRunnableFault
+
+    rig = HilValidator()
+    rig.run(seconds(2))
+    injector = ErrorInjector(FaultTarget.from_ecu(rig.ecu))
+    injector.inject_now(BlockedRunnableFault("SAFE_CC_process"))
+    rig.run(seconds(2))
+    print(rig.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "baselines",
+    "core",
+    "faults",
+    "kernel",
+    "network",
+    "platform",
+    "validator",
+]

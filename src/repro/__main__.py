@@ -1,0 +1,228 @@
+"""Command-line interface: regenerate any experiment from the shell.
+
+Usage::
+
+    python -m repro figures            # Figures 5, 5b, 5c, 6
+    python -m repro figures --which 6
+    python -m repro coverage           # E1 coverage matrix
+    python -m repro overhead           # E2 tables (+ S12XF projection)
+    python -m repro latency            # E3 latency table
+    python -m repro treatment          # E4 sweeps
+    python -m repro reconfig           # E5 containment scenario
+    python -m repro distributed        # E6 multi-ECU supervision
+    python -m repro jitter             # E7 release-offset ablation
+    python -m repro toolchain          # F3 pipeline + RTA cross-check
+    python -m repro rig --seconds 10   # drive the HIL validator
+    python -m repro all                # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+
+def _print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def cmd_figures(args: argparse.Namespace) -> None:
+    from .experiments import run_figure5, run_figure5b, run_figure5c, run_figure6
+
+    runners = {
+        "5": run_figure5,
+        "5b": run_figure5b,
+        "5c": run_figure5c,
+        "6": run_figure6,
+    }
+    which = runners if args.which == "all" else {args.which: runners[args.which]}
+    for key, runner in which.items():
+        result = runner()
+        _print_header(f"Figure {key}: {result.description}")
+        print(result.rendered)
+        print("measured:", dict(result.measurements))
+
+
+def cmd_coverage(args: argparse.Namespace) -> None:
+    from .analysis import coverage_report
+    from .experiments import run_coverage_campaign
+    from .kernel import seconds
+
+    _print_header("E1 — fault detection coverage")
+    result = run_coverage_campaign(
+        observation=seconds(args.observation), repetitions=args.repetitions
+    )
+    print(coverage_report(result))
+
+
+def cmd_overhead(args: argparse.Namespace) -> None:
+    from .analysis import format_table, projection_rows
+    from .experiments import (
+        flow_checking_rows,
+        passive_vs_polling_rows,
+        watchdog_cpu_rows,
+    )
+
+    _print_header("E2 — flow checking: look-up table vs CFCSS")
+    print(format_table(flow_checking_rows()))
+    _print_header("E2 — watchdog CPU share")
+    print(format_table(watchdog_cpu_rows()))
+    _print_header("E2 — passive heartbeats vs active polling")
+    print(format_table(passive_vs_polling_rows()))
+    _print_header("E2b — projection onto target MCUs (outlook: S12XF)")
+    print(format_table(projection_rows()))
+
+
+def cmd_latency(args: argparse.Namespace) -> None:
+    from .analysis import format_table
+    from .experiments import run_latency_study
+
+    _print_header("E3 — detection latency (period-end vs eager-arrival)")
+    print(format_table(run_latency_study(repetitions=args.repetitions)))
+
+
+def cmd_treatment(args: argparse.Namespace) -> None:
+    from .analysis import format_table
+    from .experiments import run_escalation_sweep, run_threshold_sweep
+    from .kernel import ms
+
+    _print_header("E4 — TSI threshold sweep")
+    print(format_table([r.__dict__ for r in run_threshold_sweep()]))
+    _print_header("E4 — escalation sweep (permanent fault)")
+    print(format_table([r.__dict__ for r in run_escalation_sweep()]))
+    _print_header("E4 — escalation (transient 400 ms fault)")
+    print(format_table([
+        r.__dict__
+        for r in run_escalation_sweep(budgets=[3], transient_duration=ms(400))
+    ]))
+
+
+def cmd_reconfig(args: argparse.Namespace) -> None:
+    from .experiments import run_reconfiguration
+
+    _print_header("E5 — dynamic reconfiguration / containment")
+    report = run_reconfiguration()
+    for key, value in report.__dict__.items():
+        print(f"  {key}: {value}")
+
+
+def cmd_distributed(args: argparse.Namespace) -> None:
+    from .analysis import format_table
+    from .experiments import (
+        run_distributed_supervision,
+        run_supervision_latency_sweep,
+    )
+
+    _print_header("E6 — distributed supervision (crash/degrade/recover)")
+    report = run_distributed_supervision()
+    for key, value in report.__dict__.items():
+        print(f"  {key}: {value}")
+    _print_header("E6 — crash-detection latency vs check window")
+    print(format_table(run_supervision_latency_sweep()))
+
+
+def cmd_jitter(args: argparse.Namespace) -> None:
+    from .analysis import format_table
+    from .experiments import run_jitter_ablation
+
+    _print_header("E7 — release offsets: alarms vs schedule table")
+    print(format_table(run_jitter_ablation()))
+
+
+def cmd_toolchain(args: argparse.Namespace) -> None:
+    from .analysis import format_table
+    from .experiments import run_toolchain
+
+    _print_header("F3 — model-based tool chain + RTA cross-check")
+    report = run_toolchain()
+    rows = [
+        {
+            "task": task,
+            "rta_bound_us": report.rta_bounds[task],
+            "observed_worst_us": report.observed_worst.get(task),
+        }
+        for task in report.rta_bounds
+    ]
+    print(format_table(rows))
+    print(f"utilization={report.utilization:.3f} "
+          f"schedulable={report.schedulable} bounds_hold={report.bounds_hold}")
+
+
+def cmd_rig(args: argparse.Namespace) -> None:
+    from .kernel import seconds
+    from .validator import HilValidator
+
+    _print_header(f"HIL validator — {args.seconds} simulated seconds")
+    rig = HilValidator()
+    rig.run(seconds(args.seconds))
+    for key, value in rig.summary().items():
+        print(f"  {key}: {value}")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    for command in (cmd_figures, cmd_coverage, cmd_overhead, cmd_latency,
+                    cmd_treatment, cmd_reconfig, cmd_distributed, cmd_jitter,
+                    cmd_toolchain):
+        defaults = argparse.Namespace(
+            which="all", observation=2.0, repetitions=1, seconds=5.0
+        )
+        command(defaults)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Software Watchdog (DSN 2007) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="Figures 5/5b/5c/6")
+    figures.add_argument("--which", choices=["5", "5b", "5c", "6", "all"],
+                         default="all")
+    figures.set_defaults(func=cmd_figures)
+
+    coverage = sub.add_parser("coverage", help="E1 coverage matrix")
+    coverage.add_argument("--observation", type=float, default=2.0,
+                          help="observation window per injection (s)")
+    coverage.add_argument("--repetitions", type=int, default=1)
+    coverage.set_defaults(func=cmd_coverage)
+
+    sub.add_parser("overhead", help="E2 overhead tables").set_defaults(
+        func=cmd_overhead)
+
+    latency = sub.add_parser("latency", help="E3 latency table")
+    latency.add_argument("--repetitions", type=int, default=3)
+    latency.set_defaults(func=cmd_latency)
+
+    sub.add_parser("treatment", help="E4 treatment sweeps").set_defaults(
+        func=cmd_treatment)
+    sub.add_parser("reconfig", help="E5 containment scenario").set_defaults(
+        func=cmd_reconfig)
+    sub.add_parser("distributed", help="E6 multi-ECU supervision").set_defaults(
+        func=cmd_distributed)
+    sub.add_parser("jitter", help="E7 release-offset ablation").set_defaults(
+        func=cmd_jitter)
+    sub.add_parser("toolchain", help="F3 pipeline").set_defaults(
+        func=cmd_toolchain)
+
+    rig = sub.add_parser("rig", help="drive the HIL validator")
+    rig.add_argument("--seconds", type=float, default=5.0)
+    rig.set_defaults(func=cmd_rig)
+
+    sub.add_parser("all", help="run every experiment").set_defaults(func=cmd_all)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Target-MCU overhead projection (the outlook's S12XF study).
+
+The paper's outlook moves the Software Watchdog onto "an evaluation
+microcontroller S12XF from Freescale" to measure real performance.  We
+cannot run on silicon, but the watchdog's bookkeeping is a fixed mix of
+primitive operations per heartbeat and per check cycle, so we can
+*project* CPU cost onto a target profile (cycles per primitive op,
+clock frequency) — the standard back-of-the-envelope an integrator runs
+before committing to the service.
+
+Primitive-operation model (per the implementation in :mod:`repro.core`):
+
+* heartbeat indication: 1 table probe (flow check) + 2 counter
+  increments + 1 activation-status test,
+* check cycle, per monitored runnable: 2 cycle-counter increments +
+  up to 2 bound comparisons + amortised resets.
+
+Each primitive is costed in MCU cycles; profiles for an S12X-class
+16-bit controller and a modern Cortex-M class part are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class McuProfile:
+    """Cycle costs of the watchdog's primitive operations on one MCU."""
+
+    name: str
+    clock_hz: int
+    #: cycles for an indexed table probe (hash/array lookup in C).
+    cycles_table_probe: int
+    #: cycles for a counter increment in RAM.
+    cycles_counter_inc: int
+    #: cycles for a compare-and-branch.
+    cycles_compare: int
+    #: fixed cycles per service call (entry/exit, interrupt lockout).
+    cycles_call_overhead: int
+
+
+#: Freescale S12X class: 16-bit, 40 MHz bus clock (the outlook's target).
+S12XF = McuProfile(
+    name="S12XF",
+    clock_hz=40_000_000,
+    cycles_table_probe=30,
+    cycles_counter_inc=6,
+    cycles_compare=5,
+    cycles_call_overhead=40,
+)
+
+#: A modern 32-bit automotive MCU for comparison.
+CORTEX_M7 = McuProfile(
+    name="Cortex-M7 @ 300 MHz",
+    clock_hz=300_000_000,
+    cycles_table_probe=12,
+    cycles_counter_inc=2,
+    cycles_compare=2,
+    cycles_call_overhead=20,
+)
+
+
+def heartbeat_cycles(profile: McuProfile) -> int:
+    """MCU cycles of one heartbeat indication (glue-code call)."""
+    return (
+        profile.cycles_call_overhead
+        + profile.cycles_table_probe  # flow-table probe
+        + 2 * profile.cycles_counter_inc  # AC and ARC
+        + profile.cycles_compare  # activation status test
+    )
+
+
+def check_cycle_cycles(profile: McuProfile, monitored_runnables: int) -> int:
+    """MCU cycles of one full watchdog check cycle."""
+    per_runnable = (
+        2 * profile.cycles_counter_inc  # CCA, CCAR
+        + 2 * profile.cycles_compare  # both period checks
+        + profile.cycles_counter_inc  # amortised period reset
+    )
+    return profile.cycles_call_overhead + monitored_runnables * per_runnable
+
+
+def project_cpu_load(
+    profile: McuProfile,
+    *,
+    monitored_runnables: int,
+    heartbeats_per_second: float,
+    check_period_s: float,
+) -> Dict[str, float]:
+    """Projected watchdog CPU load on the target MCU.
+
+    Returns cycle budgets per second and the resulting CPU fraction.
+    """
+    if check_period_s <= 0:
+        raise ValueError("check_period_s must be > 0")
+    hb = heartbeat_cycles(profile) * heartbeats_per_second
+    checks = check_cycle_cycles(profile, monitored_runnables) / check_period_s
+    total = hb + checks
+    return {
+        "heartbeat_cycles_per_s": hb,
+        "check_cycles_per_s": checks,
+        "total_cycles_per_s": total,
+        "cpu_fraction": total / profile.clock_hz,
+    }
+
+
+def projection_rows(
+    *,
+    monitored_runnables: int = 9,
+    heartbeats_per_second: float = 900.0,
+    check_period_s: float = 0.01,
+    profiles: List[McuProfile] = None,
+) -> List[Dict[str, object]]:
+    """One table row per target MCU (default: the validator workload —
+    9 runnables, ~900 heartbeats/s, 10 ms check period)."""
+    rows: List[Dict[str, object]] = []
+    for profile in profiles or [S12XF, CORTEX_M7]:
+        load = project_cpu_load(
+            profile,
+            monitored_runnables=monitored_runnables,
+            heartbeats_per_second=heartbeats_per_second,
+            check_period_s=check_period_s,
+        )
+        rows.append(
+            {
+                "mcu": profile.name,
+                "heartbeat_cost_cycles": heartbeat_cycles(profile),
+                "check_cost_cycles": check_cycle_cycles(
+                    profile, monitored_runnables
+                ),
+                "cpu_percent": round(100.0 * load["cpu_fraction"], 3),
+            }
+        )
+    return rows

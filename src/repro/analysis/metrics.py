@@ -1,0 +1,88 @@
+"""Summary metrics for campaigns and experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..faults.campaigns import CampaignResult
+from .plots import format_table
+
+
+@dataclass
+class LatencyStats:
+    """Distribution summary of detection latencies (ticks)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> Optional["LatencyStats"]:
+        if not values:
+            return None
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 50.0),
+            p95=percentile(ordered, 95.0),
+            maximum=ordered[-1],
+        )
+
+
+def percentile(ordered: Sequence[int], q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted sequence."""
+    if not ordered:
+        raise ValueError("empty sequence")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def coverage_report(result: CampaignResult) -> str:
+    """Human-readable coverage × latency table of a campaign."""
+    rows = []
+    for row in result.coverage_table():
+        mean_latency = row["mean_latency"]
+        rows.append(
+            {
+                "fault_class": row["fault_class"],
+                "detector": row["detector"],
+                "coverage_%": round(100.0 * float(row["coverage"]), 1),
+                "mean_latency_ms": (
+                    None if mean_latency is None else round(float(mean_latency) / 1000.0, 2)
+                ),
+                "runs": row["runs"],
+            }
+        )
+    return format_table(
+        rows, columns=["fault_class", "detector", "coverage_%", "mean_latency_ms", "runs"]
+    )
+
+
+def latency_stats(
+    result: CampaignResult, detector: str, fault_class: Optional[str] = None
+) -> Optional[LatencyStats]:
+    """Latency distribution of one detector in a campaign."""
+    return LatencyStats.from_values(result.latencies(detector, fault_class))
+
+
+def coverage_matrix(result: CampaignResult) -> Dict[str, Dict[str, float]]:
+    """{fault_class: {detector: coverage}} for programmatic assertions."""
+    out: Dict[str, Dict[str, float]] = {}
+    for fault_class in result.fault_classes():
+        out[fault_class] = {
+            detector: result.coverage(detector, fault_class)
+            for detector in result.detectors()
+        }
+    return out

@@ -1,0 +1,131 @@
+"""Trace post-processing: ground truth for the evaluation metrics.
+
+The kernel trace records what *actually* happened (activations,
+terminations, heartbeats, injections); these helpers turn it into the
+quantities the experiments report: observed activation periods, task
+response times, heartbeat gaps, and injection-to-detection matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.tracing import Trace, TraceKind
+
+
+@dataclass
+class ResponseTimeStats:
+    """Response-time summary of one task."""
+
+    task: str
+    count: int
+    mean: float
+    maximum: int
+    minimum: int
+
+
+def activation_times(trace: Trace, task: str) -> List[int]:
+    """Timestamps of every activation of a task."""
+    return [r.time for r in trace.filter(kind=TraceKind.TASK_ACTIVATE, subject=task)]
+
+
+def observed_periods(trace: Trace, task: str) -> List[int]:
+    """Inter-activation gaps (the *observed* period including injected
+    timing faults)."""
+    times = activation_times(trace, task)
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def response_times(trace: Trace, task: str) -> List[int]:
+    """Activation→termination spans, matched in order.
+
+    Activations whose termination never occurred (task hung or the run
+    ended) are dropped.
+    """
+    activations = activation_times(trace, task)
+    terminations = [
+        r.time for r in trace.filter(kind=TraceKind.TASK_TERMINATE, subject=task)
+    ]
+    out: List[int] = []
+    t_index = 0
+    for start in activations:
+        while t_index < len(terminations) and terminations[t_index] < start:
+            t_index += 1
+        if t_index >= len(terminations):
+            break
+        out.append(terminations[t_index] - start)
+        t_index += 1
+    return out
+
+
+def response_time_stats(trace: Trace, task: str) -> Optional[ResponseTimeStats]:
+    """Aggregate response-time statistics, or None when never executed."""
+    times = response_times(trace, task)
+    if not times:
+        return None
+    return ResponseTimeStats(
+        task=task,
+        count=len(times),
+        mean=sum(times) / len(times),
+        maximum=max(times),
+        minimum=min(times),
+    )
+
+
+def heartbeat_times(trace: Trace, runnable: str) -> List[int]:
+    """Timestamps of a runnable's heartbeats."""
+    return [r.time for r in trace.filter(kind=TraceKind.HEARTBEAT, subject=runnable)]
+
+
+def heartbeat_gaps(trace: Trace, runnable: str) -> List[int]:
+    """Inter-heartbeat gaps of a runnable."""
+    times = heartbeat_times(trace, runnable)
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def injection_times(trace: Trace) -> List[Tuple[int, str]]:
+    """(time, fault name) of every injection in the trace."""
+    return [
+        (r.time, r.subject) for r in trace.filter(kind=TraceKind.FAULT_INJECTED)
+    ]
+
+
+def detection_latency(
+    trace: Trace, detection_times: List[int]
+) -> List[Optional[int]]:
+    """Latency of the first detection after each injection (None=missed)."""
+    out: List[Optional[int]] = []
+    for inject_time, _name in injection_times(trace):
+        latency: Optional[int] = None
+        for t in detection_times:
+            if t >= inject_time:
+                latency = t - inject_time
+                break
+        out.append(latency)
+    return out
+
+
+def preemption_counts(trace: Trace) -> Dict[str, int]:
+    """Preemptions per task over the whole trace."""
+    out: Dict[str, int] = {}
+    for record in trace.filter(kind=TraceKind.TASK_PREEMPT):
+        out[record.subject] = out.get(record.subject, 0) + 1
+    return out
+
+
+def utilization_by_task(trace: Trace) -> Dict[str, int]:
+    """Approximate per-task busy ticks from runnable start/end pairs."""
+    starts: Dict[str, int] = {}
+    busy: Dict[str, int] = {}
+    for record in trace:
+        task = record.info.get("task")
+        if task is None:
+            continue
+        if record.kind is TraceKind.RUNNABLE_START:
+            starts[record.subject] = record.time
+        elif record.kind is TraceKind.RUNNABLE_END:
+            start = starts.pop(record.subject, None)
+            if start is not None:
+                busy[task] = busy.get(task, 0) + (record.time - start)
+    return busy

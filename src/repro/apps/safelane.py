@@ -1,0 +1,141 @@
+"""SafeLane — lane departure warning ISS application.
+
+"SafeLane is a lane departure warning application" (§4.1).  Mirroring
+the SafeSpeed decomposition, SafeLane is modelled as three runnables:
+
+* ``GetLanePosition`` — sample the lateral offset and yaw relative to
+  the lane,
+* ``LDW_process`` — departure detection with hysteresis and a
+  time-to-line-crossing estimate,
+* ``Warn_process`` — drive the warning output (the validator's light
+  control node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..platform.application import Application, RunnableSpec, SoftwareComponent
+
+#: Sensor port: returns (lateral offset m, lateral velocity m/s,
+#: lane half-width m).
+LaneSensorPort = Callable[[], Tuple[float, float, float]]
+#: Warning port: receives (warning active, side) where side is -1 right,
+#: +1 left, 0 none.
+WarningPort = Callable[[bool, int], None]
+
+RUNNABLE_GET_LANE = "GetLanePosition"
+RUNNABLE_LDW = "LDW_process"
+RUNNABLE_WARN = "Warn_process"
+RUNNABLE_SEQUENCE = (RUNNABLE_GET_LANE, RUNNABLE_LDW, RUNNABLE_WARN)
+
+
+@dataclass
+class SafeLaneConfig:
+    """Detection tuning."""
+
+    #: Warn when the predicted time to line crossing drops below this.
+    ttc_threshold_s: float = 1.0
+    #: Offset fraction of the half-width at which warning always engages.
+    offset_engage_fraction: float = 0.9
+    #: Hysteresis: warning clears only below this fraction.
+    offset_release_fraction: float = 0.7
+
+
+@dataclass
+class SafeLaneState:
+    """Blackboard shared by the three runnables."""
+
+    lateral_offset_m: float = 0.0
+    lateral_velocity_mps: float = 0.0
+    lane_half_width_m: float = 1.75
+    time_to_crossing_s: float = float("inf")
+    warning: bool = False
+    warning_side: int = 0
+    samples: int = 0
+    warnings_raised: int = 0
+
+
+class SafeLaneApp:
+    """Builds the SafeLane application model and runnable behaviours."""
+
+    def __init__(
+        self,
+        sensor: LaneSensorPort,
+        warner: WarningPort,
+        config: Optional[SafeLaneConfig] = None,
+    ) -> None:
+        self.sensor = sensor
+        self.warner = warner
+        self.config = config or SafeLaneConfig()
+        self.state = SafeLaneState()
+
+    # ------------------------------------------------------------------
+    def get_lane_position(self, _runnable=None, _task=None) -> None:
+        """Runnable 1: sample the lane sensor."""
+        offset, velocity, half_width = self.sensor()
+        st = self.state
+        st.lateral_offset_m = offset
+        st.lateral_velocity_mps = velocity
+        st.lane_half_width_m = half_width
+        st.samples += 1
+
+    def ldw_process(self, _runnable=None, _task=None) -> None:
+        """Runnable 2: departure detection with TTC and hysteresis."""
+        cfg, st = self.config, self.state
+        offset, velocity = st.lateral_offset_m, st.lateral_velocity_mps
+        half = st.lane_half_width_m
+        # Time to crossing the boundary the vehicle is drifting towards.
+        if velocity > 1e-6:
+            st.time_to_crossing_s = max(0.0, (half - offset) / velocity)
+        elif velocity < -1e-6:
+            st.time_to_crossing_s = max(0.0, (half + offset) / -velocity)
+        else:
+            st.time_to_crossing_s = float("inf")
+        fraction = abs(offset) / half if half > 0 else 0.0
+        drifting_out = (offset * velocity) > 0
+        should_warn = fraction >= cfg.offset_engage_fraction or (
+            drifting_out and st.time_to_crossing_s < cfg.ttc_threshold_s
+        )
+        if st.warning:
+            # Hysteresis: stay on until clearly back in lane.
+            should_warn = should_warn or fraction > cfg.offset_release_fraction
+        if should_warn and not st.warning:
+            st.warnings_raised += 1
+        st.warning = should_warn
+        st.warning_side = 0 if not should_warn else (1 if offset > 0 else -1)
+
+    def warn_process(self, _runnable=None, _task=None) -> None:
+        """Runnable 3: drive the warning output."""
+        self.warner(self.state.warning, self.state.warning_side)
+
+    # ------------------------------------------------------------------
+    def build_application(
+        self,
+        *,
+        wcets: Optional[List[int]] = None,
+        restartable: bool = True,
+        ecu_reset_allowed: bool = True,
+    ) -> Application:
+        """The declarative application model for the task mapping."""
+        wcets = wcets or [1000, 1500, 500]
+        if len(wcets) != 3:
+            raise ValueError("SafeLane has exactly three runnables")
+        behaviours = [self.get_lane_position, self.ldw_process, self.warn_process]
+        component = SoftwareComponent("LaneMonitor")
+        for name, wcet, behaviour in zip(RUNNABLE_SEQUENCE, wcets, behaviours):
+            component.add(
+                RunnableSpec(
+                    name,
+                    wcet=wcet,
+                    behaviour=lambda r, t, fn=behaviour: fn(r, t),
+                )
+            )
+        app = Application(
+            "SafeLane",
+            restartable=restartable,
+            ecu_reset_allowed=ecu_reset_allowed,
+        )
+        app.add_component(component)
+        return app

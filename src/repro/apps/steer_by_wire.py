@@ -1,0 +1,146 @@
+"""Steer-by-wire path: handwheel → controller → road-wheel actuator.
+
+SafeSpeed/SafeLane run "with Steer-by-Wire technology" on the validator
+(§4.1): there is no mechanical column; the handwheel angle travels over
+FlexRay to a position controller that drives the road-wheel actuator.
+A steer-by-wire path is the textbook case for runnable-level monitoring
+— a silently stalled steering runnable is immediately safety-critical,
+which is why the steering controller is mapped into the watchdog's
+hypothesis in the HIL scenarios.
+
+Runnables:
+
+* ``ReadHandwheel`` — sample the driver's handwheel angle,
+* ``SteeringControl`` — PD position control of the road-wheel angle,
+* ``ApplySteering`` — command the road-wheel actuator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..platform.application import Application, RunnableSpec, SoftwareComponent
+
+#: Returns the handwheel angle in radians.
+HandwheelPort = Callable[[], float]
+#: Returns the measured road-wheel angle in radians.
+RoadWheelSensorPort = Callable[[], float]
+#: Receives the commanded road-wheel angle in radians.
+SteeringActuatorPort = Callable[[float], None]
+
+RUNNABLE_READ = "ReadHandwheel"
+RUNNABLE_CONTROL = "SteeringControl"
+RUNNABLE_APPLY = "ApplySteering"
+RUNNABLE_SEQUENCE = (RUNNABLE_READ, RUNNABLE_CONTROL, RUNNABLE_APPLY)
+
+
+@dataclass
+class SteerByWireConfig:
+    """Controller tuning."""
+
+    #: Handwheel-to-roadwheel ratio (steering ratio).
+    steering_ratio: float = 16.0
+    kp: float = 8.0
+    kd: float = 0.8
+    sample_time_s: float = 0.005
+    max_roadwheel_rad: float = 0.6
+    #: Maximum roadwheel slew rate (rad/s) the actuator can follow.
+    max_rate_rps: float = 1.0
+
+
+@dataclass
+class SteerByWireState:
+    """Blackboard shared by the three runnables."""
+
+    handwheel_rad: float = 0.0
+    target_rad: float = 0.0
+    measured_rad: float = 0.0
+    previous_error_rad: float = 0.0
+    command_rad: float = 0.0
+    samples: int = 0
+    #: Running peak of |target − measured| (tracking quality metric).
+    max_tracking_error_rad: float = 0.0
+
+
+class SteerByWireApp:
+    """Builds the steer-by-wire application and runnable behaviours."""
+
+    def __init__(
+        self,
+        handwheel: HandwheelPort,
+        roadwheel_sensor: RoadWheelSensorPort,
+        actuator: SteeringActuatorPort,
+        config: Optional[SteerByWireConfig] = None,
+    ) -> None:
+        self.handwheel = handwheel
+        self.roadwheel_sensor = roadwheel_sensor
+        self.actuator = actuator
+        self.config = config or SteerByWireConfig()
+        self.state = SteerByWireState()
+
+    # ------------------------------------------------------------------
+    def read_handwheel(self, _runnable=None, _task=None) -> None:
+        """Runnable 1: sample handwheel and road-wheel sensors."""
+        cfg, st = self.config, self.state
+        st.handwheel_rad = self.handwheel()
+        st.measured_rad = self.roadwheel_sensor()
+        target = st.handwheel_rad / cfg.steering_ratio
+        st.target_rad = min(max(target, -cfg.max_roadwheel_rad), cfg.max_roadwheel_rad)
+        st.samples += 1
+
+    def steering_control(self, _runnable=None, _task=None) -> None:
+        """Runnable 2: PD position controller with rate limiting."""
+        cfg, st = self.config, self.state
+        error = st.target_rad - st.measured_rad
+        st.max_tracking_error_rad = max(st.max_tracking_error_rad, abs(error))
+        derivative = (error - st.previous_error_rad) / cfg.sample_time_s
+        st.previous_error_rad = error
+        demand = st.measured_rad + cfg.kp * error * cfg.sample_time_s + (
+            cfg.kd * derivative * cfg.sample_time_s
+        )
+        max_step = cfg.max_rate_rps * cfg.sample_time_s
+        step = min(max(demand - st.command_rad, -max_step), max_step)
+        st.command_rad = min(
+            max(st.command_rad + step, -cfg.max_roadwheel_rad),
+            cfg.max_roadwheel_rad,
+        )
+
+    def apply_steering(self, _runnable=None, _task=None) -> None:
+        """Runnable 3: command the road-wheel actuator."""
+        self.actuator(self.state.command_rad)
+
+    # ------------------------------------------------------------------
+    def build_application(
+        self,
+        *,
+        wcets: Optional[List[int]] = None,
+        restartable: bool = False,
+        ecu_reset_allowed: bool = False,
+    ) -> Application:
+        """The declarative application model.
+
+        Steer-by-wire defaults to *not restartable* and *no ECU reset* —
+        you cannot blank the steering mid-corner — which exercises the
+        FMF's constraint-driven treatment paths.
+        """
+        wcets = wcets or [500, 1500, 500]
+        if len(wcets) != 3:
+            raise ValueError("SteerByWire has exactly three runnables")
+        behaviours = [self.read_handwheel, self.steering_control, self.apply_steering]
+        component = SoftwareComponent("SteeringPath")
+        for name, wcet, behaviour in zip(RUNNABLE_SEQUENCE, wcets, behaviours):
+            component.add(
+                RunnableSpec(
+                    name,
+                    wcet=wcet,
+                    behaviour=lambda r, t, fn=behaviour: fn(r, t),
+                )
+            )
+        app = Application(
+            "SteerByWire",
+            restartable=restartable,
+            ecu_reset_allowed=ecu_reset_allowed,
+        )
+        app.add_component(component)
+        return app

@@ -1,0 +1,89 @@
+"""The Software Watchdog — the paper's primary contribution.
+
+Public surface:
+
+* :class:`FaultHypothesis` / :class:`RunnableHypothesis` — the static
+  monitoring configuration (periods, heartbeat bounds, flow table,
+  thresholds),
+* :class:`SoftwareWatchdog` — the service facade wiring the heartbeat
+  monitoring, program-flow-checking and task-state-indication units,
+* :func:`install_heartbeat_glue` / :class:`WatchdogTaskBinding` — OSEK
+  integration (glue code + periodic check task),
+* report types (:class:`RunnableError`, :class:`TaskFaultEvent`, ...).
+"""
+
+from .config_io import (
+    FindingSeverity,
+    HypothesisFinding,
+    analyze_hypothesis,
+    hypothesis_from_dict,
+    hypothesis_to_dict,
+    is_deployable,
+)
+from .counters import CounterHistory, RunnableCounters
+from .distributed import (
+    NodeAlivenessError,
+    PeerStatus,
+    RemoteSupervisor,
+    SupervisionPublisher,
+    make_supervision_frame_spec,
+)
+from .flowcheck import FlowTable, ProgramFlowCheckingUnit
+from .heartbeat import HeartbeatMonitoringUnit
+from .hypothesis import (
+    FaultHypothesis,
+    HypothesisError,
+    RunnableHypothesis,
+    ThresholdPolicy,
+)
+from .integration import (
+    WatchdogTaskBinding,
+    attach_hardware_watchdog_kick,
+    install_glue_on_all,
+    install_heartbeat_glue,
+)
+from .reports import (
+    EcuStateChange,
+    ErrorType,
+    MonitorState,
+    RunnableError,
+    SupervisionReport,
+    TaskFaultEvent,
+)
+from .taskstate import TaskStateIndicationUnit
+from .watchdog import SoftwareWatchdog
+
+__all__ = [
+    "CounterHistory",
+    "EcuStateChange",
+    "ErrorType",
+    "FaultHypothesis",
+    "FindingSeverity",
+    "HypothesisFinding",
+    "FlowTable",
+    "HeartbeatMonitoringUnit",
+    "HypothesisError",
+    "MonitorState",
+    "NodeAlivenessError",
+    "PeerStatus",
+    "RemoteSupervisor",
+    "SupervisionPublisher",
+    "ProgramFlowCheckingUnit",
+    "RunnableCounters",
+    "RunnableError",
+    "RunnableHypothesis",
+    "SoftwareWatchdog",
+    "SupervisionReport",
+    "TaskFaultEvent",
+    "TaskStateIndicationUnit",
+    "ThresholdPolicy",
+    "WatchdogTaskBinding",
+    "analyze_hypothesis",
+    "attach_hardware_watchdog_kick",
+    "hypothesis_from_dict",
+    "hypothesis_to_dict",
+    "install_glue_on_all",
+    "is_deployable",
+    "install_heartbeat_glue",
+    "make_supervision_frame_spec",
+]

@@ -1,0 +1,92 @@
+"""Watchdog counter set: AC, ARC, CCA, CCAR and AS.
+
+The paper (§3.2.1) assigns five data resources to every monitored
+runnable:
+
+* **AC** — Aliveness Counter: heartbeats recorded in the current
+  aliveness monitoring period,
+* **ARC** — Arrival Rate Counter: heartbeats recorded in the current
+  arrival-rate monitoring period,
+* **CCA** — Cycle Counter for Aliveness: elapsed watchdog check cycles
+  of the current aliveness period,
+* **CCAR** — Cycle Counter for Arrival Rate: elapsed watchdog check
+  cycles of the current arrival-rate period,
+* **AS** — Activation Status: whether monitoring of this runnable is
+  currently enabled.
+
+"All of those counters are reset to zero, if the periods defined in the
+fault hypothesis expire or an error is detected in the last cycle."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RunnableCounters:
+    """The mutable counter state for one monitored runnable."""
+
+    ac: int = 0
+    arc: int = 0
+    cca: int = 0
+    ccar: int = 0
+    active: bool = True
+
+    def record_heartbeat(self) -> None:
+        """Count one aliveness indication in both period counters."""
+        if self.active:
+            self.ac += 1
+            self.arc += 1
+
+    def reset_aliveness(self) -> None:
+        """Start a fresh aliveness monitoring period."""
+        self.ac = 0
+        self.cca = 0
+
+    def reset_arrival(self) -> None:
+        """Start a fresh arrival-rate monitoring period."""
+        self.arc = 0
+        self.ccar = 0
+
+    def reset_all(self) -> None:
+        """Full reset (activation-status change, watchdog restart)."""
+        self.reset_aliveness()
+        self.reset_arrival()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the counter values (for ControlDesk-style capture)."""
+        return {
+            "AC": self.ac,
+            "ARC": self.arc,
+            "CCA": self.cca,
+            "CCAR": self.ccar,
+            "AS": int(self.active),
+        }
+
+
+@dataclass
+class CounterHistory:
+    """Time series of counter snapshots, the raw material of the paper's
+    ControlDesk plots (Figures 5 and 6)."""
+
+    times: List[int] = field(default_factory=list)
+    series: Dict[str, List[int]] = field(default_factory=dict)
+
+    def capture(self, time: int, values: Dict[str, int]) -> None:
+        """Append one sample; keys may vary between calls, gaps are padded."""
+        self.times.append(time)
+        for key, value in values.items():
+            column = self.series.setdefault(key, [0] * (len(self.times) - 1))
+            column.append(value)
+        for key, column in self.series.items():
+            if len(column) < len(self.times):
+                column.append(column[-1] if column else 0)
+
+    def column(self, key: str) -> List[int]:
+        """The full series recorded for ``key`` (padded to equal length)."""
+        return self.series.get(key, [0] * len(self.times))
+
+    def __len__(self) -> int:
+        return len(self.times)

@@ -1,0 +1,201 @@
+"""Program Flow Checking (PFC) unit — look-up table sequence monitoring.
+
+The paper (§3.2.2) deliberately avoids embedded-signature control-flow
+checking (CFCSS-style) and instead keeps "a simple approach with a
+look-up table ... to minimize performance penalty and extensive
+modification requirements of applications": the table stores all legal
+predecessor/successor relationships of the monitored runnables, and the
+actually observed execution sequence — derived from the same aliveness
+indications the HBM unit consumes — is checked against it.
+
+Streams are tracked per task, because runnables of different tasks
+interleave under preemption; an interleaved observation must not be
+misread as a flow violation.  A task's stream is reset at each task
+activation (a new activation may legally start at any whitelisted entry
+point).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from .hypothesis import FaultHypothesis
+from .reports import ErrorType, RunnableError
+
+ErrorListener = Callable[[RunnableError], None]
+
+#: Key used for heartbeats that carry no task attribution.
+_GLOBAL_STREAM = "<global>"
+
+
+class FlowTable:
+    """The predecessor → successors look-up table."""
+
+    def __init__(self) -> None:
+        self._successors: Dict[Optional[str], Set[str]] = {}
+        self._monitored: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def allow(self, predecessor: Optional[str], successor: str) -> None:
+        """Whitelist one transition; ``None`` predecessor = entry point."""
+        self._successors.setdefault(predecessor, set()).add(successor)
+        if predecessor is not None:
+            self._monitored.add(predecessor)
+        self._monitored.add(successor)
+
+    def allow_sequence(self, names: List[str]) -> None:
+        """Whitelist a linear sequence including its entry point."""
+        if not names:
+            return
+        self.allow(None, names[0])
+        for pred, succ in zip(names, names[1:]):
+            self.allow(pred, succ)
+
+    def allow_cycle(self, names: List[str]) -> None:
+        """Whitelist a repeating sequence (last element may precede first)."""
+        self.allow_sequence(names)
+        if len(names) > 1:
+            self.allow(names[-1], names[0])
+
+    # ------------------------------------------------------------------
+    def is_monitored(self, runnable: str) -> bool:
+        """Whether the runnable participates in flow checking at all."""
+        return runnable in self._monitored
+
+    def is_allowed(self, predecessor: Optional[str], successor: str) -> bool:
+        """Table look-up: may ``successor`` follow ``predecessor``?"""
+        return successor in self._successors.get(predecessor, ())
+
+    def successors(self, predecessor: Optional[str]) -> Set[str]:
+        """Allowed successors of ``predecessor`` (empty set if none)."""
+        return set(self._successors.get(predecessor, ()))
+
+    def entry_points(self) -> Set[str]:
+        """Runnables allowed to start a sequence."""
+        return set(self._successors.get(None, ()))
+
+    def pair_count(self) -> int:
+        """Number of whitelisted (predecessor, successor) pairs."""
+        return sum(len(s) for s in self._successors.values())
+
+    @classmethod
+    def from_hypothesis(cls, hypothesis: FaultHypothesis) -> "FlowTable":
+        """Build the table from a fault hypothesis' flow pairs."""
+        table = cls()
+        for pred, succ in hypothesis.flow_pairs:
+            table.allow(pred, succ)
+        return table
+
+    @classmethod
+    def mine_from_trace(
+        cls,
+        trace,
+        *,
+        runnables: Optional[Set[str]] = None,
+    ) -> "FlowTable":
+        """Learn the look-up table from an observed *healthy* run.
+
+        The paper's table is authored from design knowledge; in practice
+        the legal predecessor/successor pairs can also be mined from a
+        validated golden execution (the Software-in-the-Loop phase of
+        Figure 3).  Heartbeat records are grouped into per-task streams;
+        each task activation opens a fresh stream (its first monitored
+        runnable becomes an entry point), exactly matching the runtime
+        checker's semantics — a table mined from a healthy trace will
+        never flag a replay of that trace.
+
+        ``runnables`` restricts mining to the safety-critical set; by
+        default every heartbeating runnable is included.
+
+        This is a learning aid, not a safety argument: a mined table is
+        only as complete as the scenarios the golden run exercised, so
+        review it (``pair_count``, ``successors``) before deployment.
+        """
+        from ..kernel.tracing import TraceKind
+
+        table = cls()
+        last: Dict[str, Optional[str]] = {}
+        for record in trace:
+            if record.kind is TraceKind.TASK_ACTIVATE:
+                last[record.subject] = None
+            elif record.kind is TraceKind.HEARTBEAT:
+                name = record.subject
+                if runnables is not None and name not in runnables:
+                    continue
+                task = record.info.get("task") or _GLOBAL_STREAM
+                table.allow(last.get(task), name)
+                last[task] = name
+        return table
+
+
+class ProgramFlowCheckingUnit:
+    """Checks observed runnable sequences against a :class:`FlowTable`."""
+
+    def __init__(self, table: FlowTable, *, task_attribution: Optional[Dict[str, str]] = None) -> None:
+        self.table = table
+        #: Maps runnable name → owning task, for attributing errors when a
+        #: heartbeat arrives without task context.
+        self.task_attribution = dict(task_attribution or {})
+        self._last: Dict[str, Optional[str]] = {}
+        self._listeners: List[ErrorListener] = []
+        self.observation_count = 0
+        self.violation_count = 0
+        #: Counted look-up operations, for the overhead comparison with
+        #: signature-based checking (experiment E2).
+        self.lookup_operations = 0
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: ErrorListener) -> None:
+        """Register a sink for detected flow errors (the TSI unit)."""
+        self._listeners.append(listener)
+
+    def reset_stream(self, task: Optional[str]) -> None:
+        """Restart the sequence of ``task`` (new activation)."""
+        self._last[task or _GLOBAL_STREAM] = None
+
+    def reset_all(self) -> None:
+        """Forget every stream (watchdog restart)."""
+        self._last.clear()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, runnable: str, time: int, task: Optional[str] = None
+    ) -> Optional[RunnableError]:
+        """Feed one observed execution into the checker.
+
+        Returns the emitted :class:`RunnableError` when the transition is
+        illegal, else ``None``.  Unmonitored runnables are transparent:
+        they neither advance nor disturb the stream (the paper monitors
+        "only the sequence of the safety-critical runnables ... to reduce
+        the overhead involved during program flow checks").
+        """
+        if not self.table.is_monitored(runnable):
+            return None
+        self.observation_count += 1
+        stream = task or self.task_attribution.get(runnable) or _GLOBAL_STREAM
+        previous = self._last.get(stream)
+        self.lookup_operations += 1
+        error: Optional[RunnableError] = None
+        if not self.table.is_allowed(previous, runnable):
+            self.violation_count += 1
+            error = RunnableError(
+                time=time,
+                runnable=runnable,
+                task=task or self.task_attribution.get(runnable),
+                error_type=ErrorType.PROGRAM_FLOW,
+                details={"previous": previous, "observed": runnable},
+            )
+            for listener in self._listeners:
+                listener(error)
+        # The observed runnable becomes the new predecessor either way:
+        # resynchronising on the observed block avoids cascades of
+        # secondary violations after a single bad branch.
+        self._last[stream] = runnable
+        return error
+
+    def expected_next(self, task: Optional[str] = None) -> Set[str]:
+        """Successors currently legal for the given task's stream."""
+        previous = self._last.get(task or _GLOBAL_STREAM)
+        return self.table.successors(previous) | (
+            self.table.entry_points() if previous is None else set()
+        )

@@ -1,0 +1,171 @@
+"""Heartbeat Monitoring (HBM) unit — aliveness and arrival-rate checks.
+
+The unit implements the paper's "passive approach to record and monitor
+the runnable updates" (§3.2.1): heartbeats arriving from the glue code
+merely increment counters; all judging happens in :meth:`cycle`, the
+periodic check executed by the watchdog task "shortly before the next
+period begins".
+
+Two fault types are detected:
+
+* **aliveness** — fewer heartbeats than ``min_heartbeats`` within one
+  aliveness period (runnable blocked / starved / not dispatched),
+* **arrival rate** — more heartbeats than ``max_heartbeats`` within one
+  arrival-rate period (runnable excessively dispatched).
+
+An optional *eager* arrival-rate mode flags the overflow on the very
+heartbeat that exceeds the bound instead of waiting for the period end;
+this is the ablation knob for the detection-latency experiment (E3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .counters import RunnableCounters
+from .hypothesis import FaultHypothesis, RunnableHypothesis
+from .reports import ErrorType, RunnableError
+
+ErrorListener = Callable[[RunnableError], None]
+
+
+class HeartbeatMonitoringUnit:
+    """Aliveness and arrival-rate monitoring of independent runnables."""
+
+    def __init__(
+        self,
+        hypothesis: FaultHypothesis,
+        *,
+        eager_arrival_detection: bool = False,
+    ) -> None:
+        self.hypothesis = hypothesis
+        self.eager_arrival_detection = eager_arrival_detection
+        self.counters: Dict[str, RunnableCounters] = {}
+        self._listeners: List[ErrorListener] = []
+        self.cycle_count = 0
+        self.heartbeat_count = 0
+        self.unknown_heartbeats = 0
+        for name, hyp in hypothesis.runnables.items():
+            self.counters[name] = RunnableCounters(active=hyp.active)
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: ErrorListener) -> None:
+        """Register a sink for detected runnable errors (the TSI unit)."""
+        self._listeners.append(listener)
+
+    def set_activation_status(self, runnable: str, active: bool) -> None:
+        """Flip the Activation Status (AS) of one runnable's monitoring.
+
+        Deactivating resets the counters so a later reactivation starts
+        from a clean monitoring period.
+        """
+        counters = self._counters_for(runnable)
+        if counters.active != active:
+            counters.active = active
+            counters.reset_all()
+
+    def activation_status(self, runnable: str) -> bool:
+        """Current AS value."""
+        return self._counters_for(runnable).active
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, runnable: str, time: int, task: Optional[str] = None) -> None:
+        """Record one aliveness indication from the glue code.
+
+        Unknown runnables are counted but otherwise ignored — the real
+        service would receive indications only from configured glue code,
+        but fault injection can corrupt the reported identifier.
+        """
+        counters = self.counters.get(runnable)
+        if counters is None:
+            self.unknown_heartbeats += 1
+            return
+        if not counters.active:
+            return
+        self.heartbeat_count += 1
+        counters.record_heartbeat()
+        if self.eager_arrival_detection:
+            hyp = self.hypothesis.runnables[runnable]
+            if counters.arc > hyp.max_heartbeats:
+                self._emit(
+                    RunnableError(
+                        time=time,
+                        runnable=runnable,
+                        task=task if task is not None else hyp.task,
+                        error_type=ErrorType.ARRIVAL_RATE,
+                        details={"arc": counters.arc, "max": hyp.max_heartbeats,
+                                 "eager": True},
+                    )
+                )
+                counters.reset_arrival()
+
+    def cycle(self, time: int) -> List[RunnableError]:
+        """One watchdog check cycle over all monitored runnables.
+
+        Advances CCA and CCAR; when a period expires the corresponding
+        bound is checked, errors are emitted, and the period counters are
+        reset (also on error, per the paper).
+        Returns the errors detected in this cycle.
+        """
+        self.cycle_count += 1
+        errors: List[RunnableError] = []
+        for name, hyp in self.hypothesis.runnables.items():
+            counters = self.counters[name]
+            if not counters.active:
+                continue
+            counters.cca += 1
+            counters.ccar += 1
+            if counters.cca >= hyp.aliveness_period:
+                if counters.ac < hyp.min_heartbeats:
+                    errors.append(
+                        RunnableError(
+                            time=time,
+                            runnable=name,
+                            task=hyp.task,
+                            error_type=ErrorType.ALIVENESS,
+                            details={"ac": counters.ac, "min": hyp.min_heartbeats},
+                        )
+                    )
+                counters.reset_aliveness()
+            if counters.ccar >= hyp.arrival_period:
+                if counters.arc > hyp.max_heartbeats:
+                    errors.append(
+                        RunnableError(
+                            time=time,
+                            runnable=name,
+                            task=hyp.task,
+                            error_type=ErrorType.ARRIVAL_RATE,
+                            details={"arc": counters.arc, "max": hyp.max_heartbeats},
+                        )
+                    )
+                counters.reset_arrival()
+        for error in errors:
+            self._emit(error)
+        return errors
+
+    # ------------------------------------------------------------------
+    def snapshot(self, runnable: str) -> Dict[str, int]:
+        """Current counter values of one runnable (for capture/plots)."""
+        return self._counters_for(runnable).snapshot()
+
+    def reset(self) -> None:
+        """Reset every counter and the cycle count (watchdog restart)."""
+        self.cycle_count = 0
+        self.heartbeat_count = 0
+        self.unknown_heartbeats = 0
+        for counters in self.counters.values():
+            counters.reset_all()
+
+    # ------------------------------------------------------------------
+    def _counters_for(self, runnable: str) -> RunnableCounters:
+        counters = self.counters.get(runnable)
+        if counters is None:
+            raise KeyError(f"runnable {runnable!r} is not monitored")
+        return counters
+
+    def _emit(self, error: RunnableError) -> None:
+        for listener in self._listeners:
+            listener(error)
+
+    def _describe_hypothesis(self, runnable: str) -> RunnableHypothesis:
+        return self.hypothesis.runnables[runnable]

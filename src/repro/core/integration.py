@@ -1,0 +1,148 @@
+"""OSEK integration of the Software Watchdog.
+
+The paper integrates the watchdog "across L2 and L3" of the EASIS
+platform: it runs as an OS-level periodic activity, and application
+runnables carry automatically generated glue code reporting their
+aliveness.  This module provides exactly those two integration points
+for the simulated kernel:
+
+* :func:`install_heartbeat_glue` — attach the aliveness indication
+  routine to a runnable's exit glue,
+* :class:`WatchdogTaskBinding` — create the periodic watchdog check task
+  (its own OSEK task plus cyclic alarm), including a configurable
+  simulated execution cost per check cycle so overhead is visible in
+  CPU-utilisation measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..kernel.alarms import AlarmTable
+from ..kernel.runnable import Runnable
+from ..kernel.scheduler import Kernel
+from ..kernel.task import Segment, Task
+from ..kernel.tracing import TraceKind
+from .watchdog import SoftwareWatchdog
+
+
+def install_heartbeat_glue(watchdog: SoftwareWatchdog, runnable: Runnable) -> None:
+    """Attach the aliveness indication routine to a runnable.
+
+    This is the simulated equivalent of the paper's "automatically
+    generated glue code": on every completed execution, the runnable
+    reports its heartbeat — and thereby its position in the execution
+    sequence — to the Software Watchdog.
+    """
+
+    def indicate(r: Runnable, task: Task) -> None:
+        now = r.kernel.clock.now
+        r.kernel.trace.record(now, TraceKind.HEARTBEAT, r.name, task=task.name)
+        watchdog.heartbeat_indication(r.name, now, task.name)
+
+    runnable.add_exit_glue(indicate)
+
+
+def install_glue_on_all(watchdog: SoftwareWatchdog, runnables: Iterable[Runnable]) -> None:
+    """Install heartbeat glue on every given runnable."""
+    for runnable in runnables:
+        install_heartbeat_glue(watchdog, runnable)
+
+
+class WatchdogTaskBinding:
+    """Runs a :class:`SoftwareWatchdog` as a periodic OSEK task.
+
+    Parameters
+    ----------
+    kernel, alarms:
+        The hosting kernel and its alarm table.
+    watchdog:
+        The service to drive.
+    period:
+        Check-cycle period in simulated ticks.  This is the time base of
+        the CCA/CCAR cycle counters: a runnable hypothesis with
+        ``aliveness_period=5`` is checked every ``5 * period`` ticks.
+    priority:
+        OSEK priority of the watchdog task.  The paper's service must
+        observe timing faults of application tasks, so it should be
+        higher-priority than the monitored applications.
+    check_cost:
+        Simulated CPU ticks one check cycle consumes (the watchdog's own
+        runtime overhead; used by the overhead experiment E2).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        alarms: AlarmTable,
+        watchdog: SoftwareWatchdog,
+        *,
+        period: int,
+        priority: int,
+        check_cost: int = 0,
+        task_name: Optional[str] = None,
+        autostart_alarm: bool = True,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("watchdog period must be > 0")
+        self.kernel = kernel
+        self.watchdog = watchdog
+        self.period = period
+        self.check_cost = check_cost
+        self.task_name = task_name or f"{watchdog.name}Task"
+
+        def body(task: Task):
+            yield Segment(
+                self.check_cost,
+                on_end=self._run_check,
+                label=f"{self.task_name}:check",
+            )
+
+        #: Callables run in the watchdog task's context after each check
+        #: cycle — e.g. a distributed-supervision publisher, which must
+        #: live and die with the node's task scheduling.
+        self.post_check_hooks: list = []
+        self.task = kernel.add_task(
+            Task(self.task_name, priority, body, preemptable=False)
+        )
+        self.alarm = alarms.alarm_activate_task(
+            f"{self.task_name}Alarm", self.task_name
+        )
+        if autostart_alarm:
+            self.alarm.set_rel(
+                max(1, period // alarms.system_counter.ticks_per_increment),
+                max(1, period // alarms.system_counter.ticks_per_increment),
+            )
+        kernel.hooks.pre_task.append(self._on_task_start)
+
+    # ------------------------------------------------------------------
+    def _run_check(self) -> None:
+        now = self.kernel.clock.now
+        errors = self.watchdog.check_cycle(now)
+        self.kernel.trace.record(
+            now,
+            TraceKind.WATCHDOG_CHECK,
+            self.watchdog.name,
+            cycle=self.watchdog.check_cycle_count,
+            errors=len(errors),
+        )
+        for hook in self.post_check_hooks:
+            hook()
+
+    def _on_task_start(self, kernel: Kernel, task: Task) -> None:
+        if task.name != self.task_name:
+            self.watchdog.notify_task_start(task.name)
+
+
+def attach_hardware_watchdog_kick(binding: WatchdogTaskBinding, hw_watchdog) -> None:
+    """Layered arrangement of §2: the Software Watchdog *supplements* the
+    hardware watchdog rather than replacing it.
+
+    The hardware watchdog is kicked from the Software Watchdog's own
+    check task: application-level faults are caught at runnable
+    granularity by the software service, while death of the OS, the
+    scheduler or the Software Watchdog itself silences the kick stream
+    and trips the hardware stage — closing the "who watches the
+    watchdog" gap.
+    """
+    binding.post_check_hooks.append(hw_watchdog.kick)

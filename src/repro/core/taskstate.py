@@ -1,0 +1,235 @@
+"""Task State Indication (TSI) unit — error aggregation and roll-up.
+
+Per §3.2.3 of the paper, runnable errors detected by the HBM and PFC
+units are recorded in a per-task *error indication vector*.  When any
+element of the vector reaches its threshold, the whole task is
+considered faulty.  Task states roll up — via the application/task
+mapping — to application states and a single global ECU state, which the
+Fault Management Framework uses to pick a treatment (§3.4):
+
+* global ECU state faulty  → ECU software reset,
+* ECU OK, application faulty → restart or terminate the application,
+* remaining tasks of terminated applications → restart via OS services.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .hypothesis import ThresholdPolicy
+from .reports import (
+    EcuStateChange,
+    ErrorType,
+    MonitorState,
+    RunnableError,
+    SupervisionReport,
+    TaskFaultEvent,
+)
+
+TaskFaultListener = Callable[[TaskFaultEvent], None]
+EcuStateListener = Callable[[EcuStateChange], None]
+
+
+class TaskStateIndicationUnit:
+    """Error indication vectors, thresholds, and state derivation."""
+
+    def __init__(
+        self,
+        thresholds: Optional[ThresholdPolicy] = None,
+        *,
+        task_of_runnable: Optional[Dict[str, str]] = None,
+        app_of_task: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.thresholds = thresholds or ThresholdPolicy()
+        #: runnable → hosting task (completed lazily from incoming errors).
+        self.task_of_runnable: Dict[str, str] = dict(task_of_runnable or {})
+        #: task → application (for application state derivation).
+        self.app_of_task: Dict[str, str] = dict(app_of_task or {})
+        #: task → runnable → error type → count  (the error indication vectors).
+        self.error_vectors: Dict[str, Dict[str, Dict[ErrorType, int]]] = {}
+        #: tasks currently declared faulty.
+        self.faulty_tasks: Dict[str, TaskFaultEvent] = {}
+        self.errors_recorded = 0
+        self._task_fault_listeners: List[TaskFaultListener] = []
+        self._ecu_state_listeners: List[EcuStateListener] = []
+        self._last_ecu_state = MonitorState.OK
+        self._error_log: List[RunnableError] = []
+
+    # ------------------------------------------------------------------
+    def add_task_fault_listener(self, listener: TaskFaultListener) -> None:
+        """Register a sink for task-faulty events (the FMF)."""
+        self._task_fault_listeners.append(listener)
+
+    def add_ecu_state_listener(self, listener: EcuStateListener) -> None:
+        """Register a sink for global ECU state transitions."""
+        self._ecu_state_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def record_error(self, error: RunnableError, time: Optional[int] = None) -> None:
+        """Record one runnable error in its task's error indication vector.
+
+        Fires a :class:`TaskFaultEvent` the moment an element reaches its
+        threshold; re-crossing while already faulty does not re-fire.
+        """
+        when = error.time if time is None else time
+        task = error.task or self.task_of_runnable.get(error.runnable) or "<unmapped>"
+        self.task_of_runnable.setdefault(error.runnable, task)
+        vector = self.error_vectors.setdefault(task, {})
+        per_type = vector.setdefault(error.runnable, {})
+        per_type[error.error_type] = per_type.get(error.error_type, 0) + 1
+        self.errors_recorded += 1
+        self._error_log.append(error)
+        threshold = self.thresholds.threshold_for(error.error_type)
+        if per_type[error.error_type] >= threshold and task not in self.faulty_tasks:
+            event = TaskFaultEvent(
+                time=when,
+                task=task,
+                trigger_runnable=error.runnable,
+                trigger_error_type=error.error_type,
+                error_vector={r: dict(t) for r, t in vector.items()},
+            )
+            self.faulty_tasks[task] = event
+            for listener in self._task_fault_listeners:
+                listener(event)
+            self._update_ecu_state(when)
+
+    # ------------------------------------------------------------------
+    def error_count(
+        self,
+        task: Optional[str] = None,
+        runnable: Optional[str] = None,
+        error_type: Optional[ErrorType] = None,
+    ) -> int:
+        """Accumulated error count matching the given filters."""
+        total = 0
+        for t, vector in self.error_vectors.items():
+            if task is not None and t != task:
+                continue
+            for r, per_type in vector.items():
+                if runnable is not None and r != runnable:
+                    continue
+                for et, count in per_type.items():
+                    if error_type is not None and et is not error_type:
+                        continue
+                    total += count
+        return total
+
+    def runnable_state(self, runnable: str) -> MonitorState:
+        """Derived health of one runnable."""
+        counts = self._counts_for(runnable)
+        if not counts:
+            return MonitorState.OK
+        for et, count in counts.items():
+            if count >= self.thresholds.threshold_for(et):
+                return MonitorState.FAULTY
+        return MonitorState.SUSPICIOUS
+
+    def task_state(self, task: str) -> MonitorState:
+        """Derived health of one task."""
+        if task in self.faulty_tasks:
+            return MonitorState.FAULTY
+        if self.error_vectors.get(task):
+            return MonitorState.SUSPICIOUS
+        return MonitorState.OK
+
+    def application_state(self, application: str) -> MonitorState:
+        """Derived health of one application: worst of its tasks' states."""
+        states = [
+            self.task_state(task)
+            for task, app in self.app_of_task.items()
+            if app == application
+        ]
+        return _worst(states)
+
+    def ecu_state(self) -> MonitorState:
+        """Derived global ECU state: worst of all known task states."""
+        states = [self.task_state(task) for task in self._known_tasks()]
+        return _worst(states)
+
+    # ------------------------------------------------------------------
+    def supervision_reports(self, time: int) -> List[SupervisionReport]:
+        """Individual supervision reports on runnables (one per monitored
+        runnable that has recorded errors, plus mapped healthy ones)."""
+        reports: List[SupervisionReport] = []
+        seen = set()
+        for task, vector in self.error_vectors.items():
+            for runnable, per_type in vector.items():
+                seen.add(runnable)
+                reports.append(
+                    SupervisionReport(
+                        time=time,
+                        runnable=runnable,
+                        task=task,
+                        state=self.runnable_state(runnable),
+                        error_counts=dict(per_type),
+                    )
+                )
+        for runnable, task in self.task_of_runnable.items():
+            if runnable not in seen:
+                reports.append(
+                    SupervisionReport(
+                        time=time,
+                        runnable=runnable,
+                        task=task,
+                        state=MonitorState.OK,
+                        error_counts={},
+                    )
+                )
+        return reports
+
+    def error_log(self) -> List[RunnableError]:
+        """Chronological list of every recorded runnable error."""
+        return list(self._error_log)
+
+    def clear_task(self, task: str) -> None:
+        """Forget a task's errors (after the FMF restarted it)."""
+        self.error_vectors.pop(task, None)
+        self.faulty_tasks.pop(task, None)
+        self._update_ecu_state(time=self._error_log[-1].time if self._error_log else 0)
+
+    def reset(self) -> None:
+        """Full reset (ECU software reset)."""
+        self.error_vectors.clear()
+        self.faulty_tasks.clear()
+        self.errors_recorded = 0
+        self._error_log.clear()
+        self._last_ecu_state = MonitorState.OK
+
+    # ------------------------------------------------------------------
+    def _counts_for(self, runnable: str) -> Dict[ErrorType, int]:
+        for vector in self.error_vectors.values():
+            if runnable in vector:
+                return vector[runnable]
+        return {}
+
+    def _known_tasks(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for task in self.app_of_task:
+            seen.setdefault(task, None)
+        for task in self.task_of_runnable.values():
+            seen.setdefault(task, None)
+        for task in self.error_vectors:
+            seen.setdefault(task, None)
+        return list(seen)
+
+    def _update_ecu_state(self, time: int) -> None:
+        new_state = self.ecu_state()
+        if new_state is not self._last_ecu_state:
+            change = EcuStateChange(
+                time=time,
+                old_state=self._last_ecu_state,
+                new_state=new_state,
+                faulty_tasks=tuple(sorted(self.faulty_tasks)),
+            )
+            self._last_ecu_state = new_state
+            for listener in self._ecu_state_listeners:
+                listener(change)
+
+
+def _worst(states: List[MonitorState]) -> MonitorState:
+    """The most severe of a list of states (OK when the list is empty)."""
+    if MonitorState.FAULTY in states:
+        return MonitorState.FAULTY
+    if MonitorState.SUSPICIOUS in states:
+        return MonitorState.SUSPICIOUS
+    return MonitorState.OK

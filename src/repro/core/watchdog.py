@@ -1,0 +1,196 @@
+"""The Software Watchdog service facade (Figure 2 of the paper).
+
+Wires the three basic units together:
+
+* heartbeats from runnable glue code enter through
+  :meth:`SoftwareWatchdog.heartbeat_indication` and feed **both** the
+  heartbeat monitoring unit and the program flow checking unit (the
+  paper derives the execution-sequence view from the same aliveness
+  indication routines),
+* both units report runnable errors into the task state indication
+  unit, which aggregates, applies thresholds and derives task /
+  application / ECU states,
+* detected faults and task-fault events are forwarded to registered
+  listeners — on the platform this is the Fault Management Framework.
+
+The facade also keeps the cumulative detection counters the paper's
+evaluation plots show (``AM Result``, ``ARM Result`` and ``PFC Result``
+in Figures 5 and 6) and an optional per-cycle capture of every monitored
+runnable's counter set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .counters import CounterHistory
+from .flowcheck import FlowTable, ProgramFlowCheckingUnit
+from .heartbeat import HeartbeatMonitoringUnit
+from .hypothesis import FaultHypothesis
+from .reports import ErrorType, MonitorState, RunnableError, TaskFaultEvent
+from .taskstate import TaskStateIndicationUnit
+
+FaultListener = Callable[[RunnableError], None]
+
+
+class SoftwareWatchdog:
+    """The complete dependability software service of the paper."""
+
+    def __init__(
+        self,
+        hypothesis: FaultHypothesis,
+        *,
+        name: str = "SoftwareWatchdog",
+        eager_arrival_detection: bool = False,
+        app_of_task: Optional[Dict[str, str]] = None,
+    ) -> None:
+        hypothesis.validate()
+        self.name = name
+        self.hypothesis = hypothesis
+        task_of_runnable = {
+            r: h.task for r, h in hypothesis.runnables.items() if h.task is not None
+        }
+        self.hbm = HeartbeatMonitoringUnit(
+            hypothesis, eager_arrival_detection=eager_arrival_detection
+        )
+        self.pfc = ProgramFlowCheckingUnit(
+            FlowTable.from_hypothesis(hypothesis),
+            task_attribution=task_of_runnable,
+        )
+        self.tsi = TaskStateIndicationUnit(
+            hypothesis.thresholds,
+            task_of_runnable=task_of_runnable,
+            app_of_task=app_of_task,
+        )
+        self.hbm.add_listener(self._on_runnable_error)
+        self.pfc.add_listener(self._on_runnable_error)
+        #: Cumulative detections per error type (the y-values of the
+        #: "AM Result" / "PFC Result" plots).
+        self.detected: Dict[ErrorType, int] = {et: 0 for et in ErrorType}
+        #: Cumulative detections per (runnable, error type).
+        self.detected_per_runnable: Dict[str, Dict[ErrorType, int]] = {}
+        self.check_cycle_count = 0
+        self.history: Optional[CounterHistory] = None
+        self._fault_listeners: List[FaultListener] = []
+
+    # ------------------------------------------------------------------
+    # service interfaces (the two main interfaces of §4.4)
+    # ------------------------------------------------------------------
+    def heartbeat_indication(
+        self, runnable: str, time: int, task: Optional[str] = None
+    ) -> None:
+        """Interface 1: application glue code reports an aliveness
+        indication.  Feeds flow checking first (the execution-sequence
+        view), then the heartbeat counters."""
+        self.pfc.observe(runnable, time, task)
+        self.hbm.heartbeat(runnable, time, task)
+
+    def add_fault_listener(self, listener: FaultListener) -> None:
+        """Interface 2: subscribe to detected faults (the FMF hook)."""
+        self._fault_listeners.append(listener)
+
+    def add_task_fault_listener(self, listener: Callable[[TaskFaultEvent], None]) -> None:
+        """Subscribe to task-faulty threshold events."""
+        self.tsi.add_task_fault_listener(listener)
+
+    # ------------------------------------------------------------------
+    # periodic check
+    # ------------------------------------------------------------------
+    def check_cycle(self, time: int) -> List[RunnableError]:
+        """One watchdog check cycle ("shortly before the next period
+        begins"): advance all cycle counters, evaluate bounds, emit
+        errors, and capture history if enabled."""
+        self.check_cycle_count += 1
+        errors = self.hbm.cycle(time)
+        if self.history is not None:
+            self._capture(time)
+        return errors
+
+    def notify_task_start(self, task: str) -> None:
+        """Inform the PFC unit that a task activation began (the stream
+        restarts at a legal entry point)."""
+        self.pfc.reset_stream(task)
+
+    def set_activation_status(self, runnable: str, active: bool) -> None:
+        """Enable/disable monitoring of one runnable (the AS switch)."""
+        self.hbm.set_activation_status(runnable, active)
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    def runnable_state(self, runnable: str) -> MonitorState:
+        return self.tsi.runnable_state(runnable)
+
+    def task_state(self, task: str) -> MonitorState:
+        return self.tsi.task_state(task)
+
+    def application_state(self, application: str) -> MonitorState:
+        return self.tsi.application_state(application)
+
+    def ecu_state(self) -> MonitorState:
+        return self.tsi.ecu_state()
+
+    def supervision_reports(self, time: int):
+        """Individual supervision reports on runnables (§3.2.3): one per
+        monitored runnable, carrying its derived state and error counts.
+        These are what downstream services consume to decide treatments
+        "depending on the source, type and severity of the detected
+        faults"."""
+        return self.tsi.supervision_reports(time)
+
+    def detection_count(
+        self, error_type: Optional[ErrorType] = None, runnable: Optional[str] = None
+    ) -> int:
+        """Cumulative number of detections matching the filters."""
+        if runnable is None:
+            if error_type is None:
+                return sum(self.detected.values())
+            return self.detected[error_type]
+        per_type = self.detected_per_runnable.get(runnable, {})
+        if error_type is None:
+            return sum(per_type.values())
+        return per_type.get(error_type, 0)
+
+    # ------------------------------------------------------------------
+    # capture (ControlDesk-style traces)
+    # ------------------------------------------------------------------
+    def enable_capture(self) -> CounterHistory:
+        """Record, at every check cycle, the counters of every monitored
+        runnable plus the cumulative AM/ARM/PFC result curves."""
+        self.history = CounterHistory()
+        return self.history
+
+    def _capture(self, time: int) -> None:
+        assert self.history is not None
+        sample: Dict[str, int] = {}
+        for name in self.hypothesis.runnables:
+            snapshot = self.hbm.snapshot(name)
+            for key, value in snapshot.items():
+                sample[f"{name}.{key}"] = value
+        sample["AM_Result"] = self.detected[ErrorType.ALIVENESS]
+        sample["ARM_Result"] = self.detected[ErrorType.ARRIVAL_RATE]
+        sample["PFC_Result"] = self.detected[ErrorType.PROGRAM_FLOW]
+        for task in self.hypothesis.tasks():
+            sample[f"TaskState.{task}"] = int(
+                self.tsi.task_state(task) is MonitorState.FAULTY
+            )
+        self.history.capture(time, sample)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Full service reset (ECU software reset)."""
+        self.hbm.reset()
+        self.pfc.reset_all()
+        self.tsi.reset()
+        self.detected = {et: 0 for et in ErrorType}
+        self.detected_per_runnable.clear()
+        self.check_cycle_count = 0
+
+    # ------------------------------------------------------------------
+    def _on_runnable_error(self, error: RunnableError) -> None:
+        self.detected[error.error_type] += 1
+        per_type = self.detected_per_runnable.setdefault(error.runnable, {})
+        per_type[error.error_type] = per_type.get(error.error_type, 0) + 1
+        self.tsi.record_error(error)
+        for listener in self._fault_listeners:
+            listener(error)

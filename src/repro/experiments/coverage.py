@@ -1,0 +1,165 @@
+"""E1 — fault-detection coverage analysis (the paper's outlook study).
+
+Runs an injection campaign over every fault class in the catalogue
+against four monitors side by side:
+
+* the **Software Watchdog** (runnable granularity — the paper's service),
+* the **ECU hardware watchdog** (whole-software granularity),
+* **deadline monitoring** (task granularity, OSEKtime style),
+* **execution-time monitoring** (task granularity, AUTOSAR OS style).
+
+Expected shape: the Software Watchdog covers every class; the baselines
+cover only the classes visible at their granularity (CPU starvation for
+the HW watchdog, task overrun for deadline/budget monitors) and miss
+runnable-level blocking, arrival-rate and flow faults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..baselines.deadline_monitor import DeadlineMonitor
+from ..baselines.exec_time_monitor import ExecutionTimeMonitor
+from ..baselines.hw_watchdog import HardwareWatchdog, attach_kick_task
+from ..faults.campaigns import (
+    Campaign,
+    CampaignResult,
+    CampaignSystem,
+    DetectionRecorder,
+    FaultFactory,
+    watchdog_detector,
+)
+from ..faults.models import (
+    BlockedRunnableFault,
+    FaultModel,
+    FaultTarget,
+    HeartbeatCorruptionFault,
+    InvalidBranchFault,
+    LoopCountFault,
+    SkipRunnableFault,
+    TimeScalarFault,
+)
+from ..kernel.clock import ms, seconds
+from ..kernel.task import Segment, Task
+from ..platform.application import (
+    Application,
+    RunnableSpec,
+    SoftwareComponent,
+    TaskMapping,
+    TaskSpec,
+)
+from ..platform.ecu import Ecu
+from ..platform.fmf import FmfPolicy
+
+
+class _BaselineAdapter(DetectionRecorder):
+    """Wraps a baseline monitor's ``first_detection_after``."""
+
+    def __init__(self, name: str, monitor) -> None:
+        super().__init__(name)
+        self._monitor = monitor
+
+    def first_detection_after(self, time: int) -> Optional[int]:
+        return self._monitor.first_detection_after(time)
+
+
+def _safespeed_mapping() -> TaskMapping:
+    app = Application("SafeSpeed")
+    swc = SoftwareComponent("SpeedControl")
+    swc.add(RunnableSpec("GetSensorValue", wcet=ms(1)))
+    swc.add(RunnableSpec("SAFE_CC_process", wcet=ms(2)))
+    swc.add(RunnableSpec("Speed_process", wcet=ms(1)))
+    app.add_component(swc)
+    mapping = TaskMapping([app])
+    mapping.add_task(TaskSpec("SafeSpeedTask", priority=5, period=ms(10)))
+    mapping.map_sequence(
+        "SafeSpeedTask", ["GetSensorValue", "SAFE_CC_process", "Speed_process"]
+    )
+    return mapping
+
+
+def build_coverage_system() -> CampaignSystem:
+    """One fresh system with all four monitors attached."""
+    ecu = Ecu(
+        "central",
+        _safespeed_mapping(),
+        watchdog_period=ms(10),
+        fmf_policy=FmfPolicy(ecu_faulty_task_threshold=10**6,
+                             max_app_restarts=10**6),
+        fmf_auto_treatment=False,
+    )
+    sw = watchdog_detector(ecu.watchdog)
+
+    hw = HardwareWatchdog(ecu.kernel, timeout=ms(100))
+    kick = attach_kick_task(ecu.kernel, hw)
+    ecu.alarms.alarm_activate_task("hwkick", kick.name).set_rel(ms(30), ms(30))
+    hw.start()
+
+    deadline = DeadlineMonitor(ecu.kernel)
+    deadline.monitor("SafeSpeedTask", deadline=ms(9))
+
+    budget = ExecutionTimeMonitor(ecu.kernel)
+    budget.monitor("SafeSpeedTask", budget=ms(5))
+
+    # A runaway task primed for the CPU-starvation fault class.
+    def runaway_body(task):
+        while True:
+            yield Segment(ms(50))
+
+    ecu.kernel.add_task(Task("Runaway", 9, runaway_body))
+
+    return CampaignSystem(
+        target=FaultTarget.from_ecu(ecu),
+        detectors=[
+            sw,
+            _BaselineAdapter("HardwareWatchdog", hw),
+            _BaselineAdapter("DeadlineMonitor", deadline),
+            _BaselineAdapter("ExecTimeMonitor", budget),
+        ],
+        run_until=ecu.run_until,
+        now=lambda: ecu.now,
+        context={"ecu": ecu},
+    )
+
+
+class _RunawayFault(FaultModel):
+    """CPU starvation: activate the primed runaway task (priority above
+    every application, below the watchdog check task)."""
+
+    expected_error = "aliveness"
+
+    def __init__(self) -> None:
+        super().__init__("runaway_task")
+
+    def _apply(self, target) -> None:
+        target.kernel.activate_task("Runaway")
+
+    def _revert(self, target) -> None:
+        target.kernel.force_terminate("Runaway")
+
+
+def standard_fault_factories(repetitions: int = 1) -> List[FaultFactory]:
+    """The campaign's fault list: one factory per (class, variant)."""
+    base: List[FaultFactory] = [
+        lambda s: BlockedRunnableFault("SAFE_CC_process"),
+        lambda s: BlockedRunnableFault("GetSensorValue"),
+        lambda s: TimeScalarFault("SafeSpeedTask", scalar=4.0),
+        lambda s: LoopCountFault("GetSensorValue", repeat=4),
+        lambda s: SkipRunnableFault("SafeSpeedTask", "SAFE_CC_process"),
+        lambda s: InvalidBranchFault("SafeSpeedTask", 1, "Speed_process"),
+        lambda s: HeartbeatCorruptionFault("SAFE_CC_process", "Speed_process"),
+        lambda s: _RunawayFault(),
+    ]
+    return base * repetitions
+
+
+def run_coverage_campaign(
+    *,
+    warmup: int = ms(300),
+    observation: int = seconds(2),
+    repetitions: int = 1,
+    system_factory: Callable[[], CampaignSystem] = build_coverage_system,
+) -> CampaignResult:
+    """Execute the E1 campaign and return the aggregated result."""
+    campaign = Campaign(system_factory, warmup=warmup, observation=observation)
+    return campaign.execute(standard_fault_factories(repetitions))

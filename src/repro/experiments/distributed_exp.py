@@ -1,0 +1,125 @@
+"""E6 — distributed supervision across ECU borders (outlook extension).
+
+A local Software Watchdog cannot report its own node's death.  This
+study measures the supervision hierarchy's end: node-level aliveness
+monitoring over the vehicle network.
+
+Cases:
+
+1. **node crash** — the supervised node locks up; the supervision-frame
+   stream stops; the remote supervisor flags a node aliveness error
+   within one supervision period and the network state degrades,
+2. **node degradation** — the supervised node stays alive but its local
+   watchdog reports faults; the remote supervisor mirrors the
+   self-reported state without raising node-aliveness alarms
+   (state propagation, not just liveness),
+3. **recovery** — after reboot the stream resumes and the verdict
+   returns to OK,
+4. a **latency sweep** over the supervisor's check period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.reports import MonitorState
+from ..faults.models import BlockedRunnableFault, FaultTarget
+from ..kernel.clock import ms, seconds
+from ..validator.multi_ecu import MultiEcuValidator
+
+
+@dataclass
+class DistributedReport:
+    """Outcome of the three scenario phases."""
+
+    crash_detect_latency_ms: Optional[float]
+    healthy_peer_verdict: str
+    degraded_state_mirrored: bool
+    degraded_no_false_node_alarm: bool
+    recovered_verdict: str
+    frames_per_second: float
+    sequence_gaps: int
+
+
+def run_distributed_supervision(
+    *,
+    warmup: int = seconds(1),
+    observe: int = ms(500),
+) -> DistributedReport:
+    """Run crash / degradation / recovery against the two-node rig."""
+    rig = MultiEcuValidator(["chassis", "body"])
+    rig.run_for(warmup)
+    frames = rig.supervisor.peers["body"].frames_received
+    fps = frames / (warmup / 1_000_000)
+
+    # --- phase 1: degradation (alive but faulty) ----------------------
+    degradation = BlockedRunnableFault("body.process")
+    body_target = FaultTarget(
+        kernel=rig.kernel,
+        runnables=dict(rig.nodes["body"].ecu.system.runnables),
+        charts=dict(rig.nodes["body"].ecu.system.charts),
+        alarms=rig.nodes["body"].ecu.alarms,
+    )
+    degradation.inject(body_target)
+    rig.run_for(observe)
+    degraded_state = rig.node_state("body")
+    degraded_mirrored = degraded_state in (
+        MonitorState.SUSPICIOUS, MonitorState.FAULTY
+    )
+    no_false_node_alarm = (
+        rig.supervisor.peers["body"].node_aliveness_errors == 0
+    )
+
+    # --- phase 2: crash ------------------------------------------------
+    crash_time = rig.kernel.clock.now
+    rig.crash_node("body")
+    rig.run_for(observe)
+    errors = [e for e in rig.node_aliveness_log if e.time >= crash_time]
+    crash_latency = (errors[0].time - crash_time) / 1000.0 if errors else None
+    healthy_verdict = rig.node_state("chassis").value
+
+    # --- phase 3: recovery ----------------------------------------------
+    # The reboot also clears the phase-1 software fault (fresh image).
+    degradation.restore(body_target)
+    rig.recover_node("body")
+    rig.run_for(observe)
+    return DistributedReport(
+        crash_detect_latency_ms=crash_latency,
+        healthy_peer_verdict=healthy_verdict,
+        degraded_state_mirrored=degraded_mirrored,
+        degraded_no_false_node_alarm=no_false_node_alarm,
+        recovered_verdict=rig.node_state("body").value,
+        frames_per_second=fps,
+        sequence_gaps=rig.supervisor.peers["body"].sequence_gaps,
+    )
+
+
+def run_supervision_latency_sweep(
+    check_periods: List[int] = (2, 3, 5, 10),
+    *,
+    warmup: int = ms(500),
+    observe: int = seconds(1),
+) -> List[Dict[str, object]]:
+    """Crash-detection latency as a function of the supervisor's check
+    period (in 10 ms supervision cycles)."""
+    rows: List[Dict[str, object]] = []
+    for period in check_periods:
+        rig = MultiEcuValidator(["chassis", "body"],
+                                supervisor_check_period=period)
+        rig.run_for(warmup)
+        crash_time = rig.kernel.clock.now
+        rig.crash_node("body")
+        rig.run_for(observe)
+        errors = [e for e in rig.node_aliveness_log if e.time >= crash_time]
+        rows.append(
+            {
+                "check_period_cycles": period,
+                "check_window_ms": period * 10.0,
+                "detect_latency_ms": (
+                    (errors[0].time - crash_time) / 1000.0 if errors else None
+                ),
+                "detected": bool(errors),
+            }
+        )
+    return rows

@@ -1,0 +1,258 @@
+"""Reproduction of the paper's evaluation figures (§4.5).
+
+Each ``run_figure*`` function executes one evaluation case on the HIL
+validator and returns a :class:`FigureResult` holding the captured
+ControlDesk-style series, the key measured quantities, and a rendered
+text version of the figure.  The x-axis sampling matches the paper: one
+sample per 10 ms.
+
+* **Figure 5** — test with injected aliveness error: a "time scalar ...
+  connected to a slider instrument" slows the SafeSpeed task; the
+  aliveness counters starve and ``AM Result`` steps up.
+* **Figure 5b** (stated in the text) — arrival-rate error via a
+  manipulated loop counter: the runnable repeats, ``ARM Result`` steps.
+* **Figure 5c** (stated in the text) — control-flow error via an
+  invalid execution branch: ``PFC Result`` steps.
+* **Figure 6** — collaboration of the units: an invalid branch provokes
+  program-flow errors *and* starves the bypassed runnable; with the PFC
+  threshold at 3 the task state flips to faulty after the third flow
+  error while only a single accumulated aliveness error is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.plots import render_panels
+from ..core.reports import ErrorType
+from ..faults.injector import ErrorInjector
+from ..faults.models import (
+    FaultTarget,
+    InvalidBranchFault,
+    LoopCountFault,
+    TimeScalarFault,
+)
+from ..kernel.clock import ms, seconds
+from ..platform.fmf import FmfPolicy
+from ..validator.hil import HilValidator
+
+#: FMF configuration for figure runs: faults are recorded but no
+#: automatic treatment interferes with the captured counter traces.
+_OBSERVATION_POLICY = FmfPolicy(ecu_faulty_task_threshold=10**6,
+                                max_app_restarts=10**6)
+
+
+@dataclass
+class FigureResult:
+    """Everything one evaluation case produced."""
+
+    figure: str
+    description: str
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    sample_times: List[int] = field(default_factory=list)
+    measurements: Dict[str, object] = field(default_factory=dict)
+    rendered: str = ""
+
+    def measurement(self, key: str) -> object:
+        return self.measurements[key]
+
+
+def _build_rig(*, focus_runnable: str = "SAFE_CC_process",
+               auto_treatment: bool = False) -> HilValidator:
+    rig = HilValidator(
+        fmf_policy=_OBSERVATION_POLICY,
+        fmf_auto_treatment=auto_treatment,
+    )
+    rig.probe_counters(focus_runnable)
+    return rig
+
+
+def _collect(rig: HilValidator, figure: str, description: str,
+             keys: List[str]) -> FigureResult:
+    result = FigureResult(figure=figure, description=description)
+    for key in keys:
+        series = rig.capture.get(key)
+        result.series[key] = list(series.values)
+        result.sample_times = list(series.times)
+    watchdog = rig.ecu.watchdog
+    result.measurements.update(
+        aliveness_errors=watchdog.detected[ErrorType.ALIVENESS],
+        arrival_rate_errors=watchdog.detected[ErrorType.ARRIVAL_RATE],
+        program_flow_errors=watchdog.detected[ErrorType.PROGRAM_FLOW],
+    )
+    result.rendered = render_panels(
+        result.series, title=f"{figure}: {description}"
+    )
+    return result
+
+
+def run_figure5(
+    *,
+    warmup: int = seconds(2),
+    faulty_window: int = seconds(2),
+    recovery: int = seconds(1),
+    time_scalar: float = 4.0,
+) -> FigureResult:
+    """Figure 5: test with injected aliveness error.
+
+    The SafeSpeed task's release period is scaled by ``time_scalar``
+    (the slider), heartbeats per monitoring period fall below the
+    hypothesis minimum, and the aliveness-monitoring result counts up.
+    """
+    rig = _build_rig()
+    injector = ErrorInjector(FaultTarget.from_ecu(rig.ecu))
+    fault = TimeScalarFault("SafeSpeedTask", scalar=time_scalar)
+    rig.start()
+    injector.inject_at(warmup, fault, restore_at=warmup + faulty_window)
+    rig.run(warmup + faulty_window + recovery)
+
+    result = _collect(
+        rig,
+        "Figure 5",
+        "test with injected aliveness error",
+        ["SAFE_CC_process.AC", "SAFE_CC_process.CCA", "AM_Result"],
+    )
+    am = result.series["AM_Result"]
+    samples_per_tick = ms(10)
+    before = am[int(warmup / samples_per_tick) - 2]
+    after = am[int((warmup + faulty_window) / samples_per_tick) - 2]
+    result.measurements.update(
+        errors_before_injection=before,
+        errors_during_fault=after - before,
+        errors_after_recovery=am[-1] - after,
+        injected_at=warmup,
+        restored_at=warmup + faulty_window,
+    )
+    return result
+
+
+def run_figure5b(
+    *,
+    warmup: int = seconds(2),
+    faulty_window: int = seconds(2),
+    recovery: int = seconds(1),
+    repeat: int = 4,
+) -> FigureResult:
+    """Figure 5b (stated): test with injected arrival-rate error.
+
+    A manipulated loop counter repeats ``GetSensorValue`` within each
+    activation — more aliveness indications per period than hypothesised.
+    """
+    rig = _build_rig(focus_runnable="GetSensorValue")
+    injector = ErrorInjector(FaultTarget.from_ecu(rig.ecu))
+    fault = LoopCountFault("GetSensorValue", repeat=repeat)
+    rig.start()
+    injector.inject_at(warmup, fault, restore_at=warmup + faulty_window)
+    rig.run(warmup + faulty_window + recovery)
+
+    result = _collect(
+        rig,
+        "Figure 5b",
+        "test with injected arrival rate error",
+        ["GetSensorValue.ARC", "GetSensorValue.CCAR", "ARM_Result"],
+    )
+    arm = result.series["ARM_Result"]
+    samples_per_tick = ms(10)
+    before = arm[int(warmup / samples_per_tick) - 2]
+    after = arm[int((warmup + faulty_window) / samples_per_tick) - 2]
+    result.measurements.update(
+        errors_before_injection=before,
+        errors_during_fault=after - before,
+        errors_after_recovery=arm[-1] - after,
+    )
+    return result
+
+
+def run_figure5c(
+    *,
+    warmup: int = seconds(2),
+    faulty_window: int = seconds(2),
+    recovery: int = seconds(1),
+) -> FigureResult:
+    """Figure 5c (stated): test with injected control-flow error.
+
+    An invalid execution branch jumps from ``GetSensorValue`` straight
+    to ``Speed_process``; the look-up table flags every occurrence.
+    """
+    rig = _build_rig()
+    injector = ErrorInjector(FaultTarget.from_ecu(rig.ecu))
+    fault = InvalidBranchFault("SafeSpeedTask", at_step=1,
+                               branch_to="Speed_process")
+    rig.start()
+    injector.inject_at(warmup, fault, restore_at=warmup + faulty_window)
+    rig.run(warmup + faulty_window + recovery)
+
+    result = _collect(
+        rig,
+        "Figure 5c",
+        "test with injected control flow error",
+        ["PFC_Result", "AM_Result"],
+    )
+    pfc = result.series["PFC_Result"]
+    samples_per_tick = ms(10)
+    before = pfc[int(warmup / samples_per_tick) - 2]
+    after = pfc[int((warmup + faulty_window) / samples_per_tick) - 2]
+    result.measurements.update(
+        errors_before_injection=before,
+        errors_during_fault=after - before,
+        errors_after_recovery=pfc[-1] - after,
+    )
+    return result
+
+
+def run_figure6(
+    *,
+    warmup: int = seconds(2),
+    observe: int = ms(400),
+    pfc_threshold: int = 3,
+) -> FigureResult:
+    """Figure 6: collaboration of the fault detection units.
+
+    The aliveness errors observed by the heartbeat monitoring unit are
+    actually *caused* by a program-flow fault: the invalid branch
+    bypasses ``SAFE_CC_process``, so PFC errors accumulate once per
+    activation (every 10 ms) while aliveness errors accumulate only once
+    per aliveness monitoring period (every ~20 ms, and only for the
+    bypassed runnable).  With the program-flow threshold at
+    ``pfc_threshold`` the task state flips to faulty after the third
+    flow error — at which point only one accumulated aliveness error has
+    been reported, identifying the flow fault as the root cause.
+    """
+    rig = _build_rig(auto_treatment=False)
+    rig.ecu.watchdog.tsi.thresholds.per_type[ErrorType.PROGRAM_FLOW] = pfc_threshold
+    injector = ErrorInjector(FaultTarget.from_ecu(rig.ecu))
+    fault = InvalidBranchFault("SafeSpeedTask", at_step=1,
+                               branch_to="Speed_process")
+    rig.start()
+    injector.inject_at(warmup, fault)
+    rig.run(warmup + observe)
+
+    result = _collect(
+        rig,
+        "Figure 6",
+        "collaboration of fault detection units",
+        ["PFC_Result", "AM_Result", "TaskState_SafeSpeed"],
+    )
+    watchdog = rig.ecu.watchdog
+    fault_events = watchdog.tsi.faulty_tasks
+    task_fault_time: Optional[int] = None
+    pfc_at_fault = am_at_fault = None
+    if "SafeSpeedTask" in fault_events:
+        event = fault_events["SafeSpeedTask"]
+        task_fault_time = event.time
+        vector = event.error_vector
+        pfc_at_fault = sum(
+            counts.get(ErrorType.PROGRAM_FLOW, 0) for counts in vector.values()
+        )
+        am_at_fault = sum(
+            counts.get(ErrorType.ALIVENESS, 0) for counts in vector.values()
+        )
+    result.measurements.update(
+        pfc_threshold=pfc_threshold,
+        task_fault_time=task_fault_time,
+        pfc_errors_at_task_fault=pfc_at_fault,
+        aliveness_errors_at_task_fault=am_at_fault,
+        task_faulty=task_fault_time is not None,
+    )
+    return result

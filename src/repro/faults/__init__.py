@@ -1,0 +1,44 @@
+"""Error injection framework: fault models, injector, campaigns (§4.5)."""
+
+from .campaigns import (
+    Campaign,
+    CampaignResult,
+    CampaignSystem,
+    DetectionRecorder,
+    RunResult,
+    watchdog_detector,
+)
+from .injector import ErrorInjector, InjectionRecord
+from .models import (
+    BlockedRunnableFault,
+    FaultModel,
+    FaultTarget,
+    HeartbeatCorruptionFault,
+    HeartbeatOmissionFault,
+    InterruptStormFault,
+    InvalidBranchFault,
+    LoopCountFault,
+    SkipRunnableFault,
+    TimeScalarFault,
+)
+
+__all__ = [
+    "BlockedRunnableFault",
+    "Campaign",
+    "CampaignResult",
+    "CampaignSystem",
+    "DetectionRecorder",
+    "ErrorInjector",
+    "FaultModel",
+    "FaultTarget",
+    "HeartbeatCorruptionFault",
+    "HeartbeatOmissionFault",
+    "InjectionRecord",
+    "InterruptStormFault",
+    "InvalidBranchFault",
+    "LoopCountFault",
+    "RunResult",
+    "SkipRunnableFault",
+    "TimeScalarFault",
+    "watchdog_detector",
+]

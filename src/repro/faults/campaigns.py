@@ -1,0 +1,216 @@
+"""Fault-injection campaigns: coverage and latency accounting.
+
+The paper's outlook names "further analysis of fault detection coverage"
+as the next step; this module is that analysis.  A campaign runs many
+independent experiments — fresh system, warm-up, inject one fault,
+observe — and tabulates per fault class and per detector:
+
+* **coverage** — fraction of injections the detector flagged,
+* **detection latency** — time from injection to first detection.
+
+Detectors are anything exposing ``name`` and
+``first_detection_after(t)``; the Software Watchdog and every baseline
+monitor provide adapters via :class:`DetectionRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .injector import ErrorInjector
+from .models import FaultModel, FaultTarget
+
+
+class DetectionRecorder:
+    """Collects detection timestamps for one monitor."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: List[int] = []
+
+    def record(self, time: int) -> None:
+        """Note one detection event."""
+        self.times.append(time)
+
+    def first_detection_after(self, time: int) -> Optional[int]:
+        """Earliest detection at or after ``time`` (None = undetected)."""
+        for t in self.times:
+            if t >= time:
+                return t
+        return None
+
+    def clear(self) -> None:
+        self.times.clear()
+
+
+def watchdog_detector(
+    watchdog, name: str = "SoftwareWatchdog", error_type=None
+) -> DetectionRecorder:
+    """Adapter recording runnable errors the watchdog detects.
+
+    Pass an :class:`~repro.core.reports.ErrorType` to record only one
+    detection channel (used by the latency study to attribute latency to
+    the aliveness / arrival-rate / flow monitors individually).
+    """
+    recorder = DetectionRecorder(name)
+
+    def on_error(error):
+        if error_type is None or error.error_type is error_type:
+            recorder.record(error.time)
+
+    watchdog.add_fault_listener(on_error)
+    return recorder
+
+
+@dataclass
+class CampaignSystem:
+    """One freshly built system under test."""
+
+    target: FaultTarget
+    detectors: List[DetectionRecorder]
+    run_until: Callable[[int], None]
+    now: Callable[[], int]
+    #: Arbitrary extras a system factory wants to expose to fault factories.
+    context: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one injection experiment."""
+
+    fault_name: str
+    fault_class: str
+    expected_error: str
+    inject_time: int
+    #: detector name → detection time (None = missed).
+    detections: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def latency(self, detector: str) -> Optional[int]:
+        t = self.detections.get(detector)
+        return None if t is None else t - self.inject_time
+
+    def detected_by(self, detector: str) -> bool:
+        return self.detections.get(detector) is not None
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one campaign plus aggregation helpers."""
+
+    runs: List[RunResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def fault_classes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for run in self.runs:
+            seen.setdefault(run.fault_class, None)
+        return list(seen)
+
+    def detectors(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for run in self.runs:
+            for name in run.detections:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def coverage(self, detector: str, fault_class: Optional[str] = None) -> float:
+        """Fraction of injections detected (1.0 = all)."""
+        relevant = [
+            r for r in self.runs if fault_class is None or r.fault_class == fault_class
+        ]
+        if not relevant:
+            return 0.0
+        hits = sum(1 for r in relevant if r.detected_by(detector))
+        return hits / len(relevant)
+
+    def latencies(self, detector: str, fault_class: Optional[str] = None) -> List[int]:
+        """All observed latencies (ticks) for detected injections."""
+        out = []
+        for run in self.runs:
+            if fault_class is not None and run.fault_class != fault_class:
+                continue
+            latency = run.latency(detector)
+            if latency is not None:
+                out.append(latency)
+        return out
+
+    def mean_latency(self, detector: str, fault_class: Optional[str] = None) -> Optional[float]:
+        values = self.latencies(detector, fault_class)
+        return sum(values) / len(values) if values else None
+
+    def coverage_table(self) -> List[Dict[str, object]]:
+        """One row per (fault class, detector): coverage + mean latency."""
+        rows: List[Dict[str, object]] = []
+        for fault_class in self.fault_classes():
+            for detector in self.detectors():
+                rows.append(
+                    {
+                        "fault_class": fault_class,
+                        "detector": detector,
+                        "coverage": self.coverage(detector, fault_class),
+                        "mean_latency": self.mean_latency(detector, fault_class),
+                        "runs": sum(
+                            1 for r in self.runs if r.fault_class == fault_class
+                        ),
+                    }
+                )
+        return rows
+
+
+FaultFactory = Callable[[CampaignSystem], FaultModel]
+SystemFactory = Callable[[], CampaignSystem]
+
+
+class Campaign:
+    """Runs one injection experiment per fault factory."""
+
+    def __init__(
+        self,
+        system_factory: SystemFactory,
+        *,
+        warmup: int,
+        observation: int,
+        transient_duration: Optional[int] = None,
+    ) -> None:
+        if warmup < 0 or observation <= 0:
+            raise ValueError("warmup must be >= 0 and observation > 0")
+        self.system_factory = system_factory
+        self.warmup = warmup
+        self.observation = observation
+        self.transient_duration = transient_duration
+
+    def execute(self, fault_factories: Sequence[FaultFactory]) -> CampaignResult:
+        """Run every fault in its own fresh system."""
+        result = CampaignResult()
+        for factory in fault_factories:
+            result.runs.append(self._run_one(factory))
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_one(self, factory: FaultFactory) -> RunResult:
+        system = self.system_factory()
+        system.run_until(self.warmup)
+        fault = factory(system)
+        injector = ErrorInjector(system.target)
+        inject_time = system.now()
+        injector.inject_now(fault)
+        if self.transient_duration is not None:
+            system.target.kernel.queue.schedule(
+                inject_time + self.transient_duration,
+                lambda: fault.restore(system.target),
+                label=f"restore:{fault.name}",
+                persistent=True,
+            )
+        system.run_until(inject_time + self.observation)
+        detections = {
+            det.name: det.first_detection_after(inject_time)
+            for det in system.detectors
+        }
+        return RunResult(
+            fault_name=fault.name,
+            fault_class=type(fault).__name__,
+            expected_error=fault.expected_error,
+            inject_time=inject_time,
+            detections=detections,
+        )

@@ -1,0 +1,335 @@
+"""Fault models for error injection (§4.5).
+
+"Stateflow is used to manipulate the execution frequency and sequence of
+runnables by changing the timing parameter of runnables, manipulation of
+loop counters and building invalid execution branches."  Each class here
+is one such manipulation, applied to a :class:`FaultTarget` (the handles
+into a built system).  Faults are reversible: ``inject()`` activates the
+manipulation, ``restore()`` removes it, so campaigns can model both
+permanent and transient faults.
+
+Catalogue (paper mechanism → class):
+
+* blocked / starved runnable        → :class:`BlockedRunnableFault`
+* changed timing parameter (slower) → :class:`TimeScalarFault` (scalar > 1)
+* excessive dispatch (faster)       → :class:`TimeScalarFault` (scalar < 1)
+* manipulated loop counter          → :class:`LoopCountFault`
+* invalid execution branch          → :class:`InvalidBranchFault`,
+  :class:`SkipRunnableFault`
+* corrupted program counter         → :class:`HeartbeatCorruptionFault`
+* lost glue code                    → :class:`HeartbeatOmissionFault`
+* CPU theft by interrupt storm      → :class:`InterruptStormFault`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..kernel.alarms import Alarm, AlarmTable
+from ..kernel.isr import Isr
+from ..kernel.runnable import Runnable, SequenceChart
+from ..kernel.scheduler import Kernel
+from ..kernel.tracing import TraceKind
+
+
+@dataclass
+class FaultTarget:
+    """Handles a fault model needs to manipulate a built system."""
+
+    kernel: Kernel
+    runnables: Dict[str, Runnable]
+    charts: Dict[str, SequenceChart] = field(default_factory=dict)
+    alarms: Optional[AlarmTable] = None
+
+    @classmethod
+    def from_ecu(cls, ecu) -> "FaultTarget":
+        """Build a target from a :class:`repro.platform.Ecu`."""
+        return cls(
+            kernel=ecu.kernel,
+            runnables=dict(ecu.system.runnables),
+            charts=dict(ecu.system.charts),
+            alarms=ecu.alarms,
+        )
+
+
+class FaultModel:
+    """Base class: a reversible manipulation of the target system."""
+
+    #: Which watchdog error type this fault is *expected* to provoke
+    #: (ground truth for coverage accounting); subclasses override.
+    expected_error = "unspecified"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.active = False
+        self.injected_at: Optional[int] = None
+
+    def inject(self, target: FaultTarget) -> None:
+        """Activate the fault."""
+        if self.active:
+            return
+        self.active = True
+        self.injected_at = target.kernel.clock.now
+        target.kernel.trace.record(
+            target.kernel.clock.now,
+            TraceKind.FAULT_INJECTED,
+            self.name,
+            fault_class=type(self).__name__,
+        )
+        self._apply(target)
+
+    def restore(self, target: FaultTarget) -> None:
+        """Deactivate the fault (transient fault recovery)."""
+        if not self.active:
+            return
+        self.active = False
+        self._revert(target)
+        target.kernel.trace.record(
+            target.kernel.clock.now,
+            TraceKind.CUSTOM,
+            self.name,
+            event="fault_restored",
+        )
+
+    # subclass hooks -----------------------------------------------------
+    def _apply(self, target: FaultTarget) -> None:
+        raise NotImplementedError
+
+    def _revert(self, target: FaultTarget) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} active={self.active}>"
+
+
+class BlockedRunnableFault(FaultModel):
+    """The runnable hangs: it is never dispatched again ("an object hangs
+    as a result of a requested resource being blocked").  Provokes
+    aliveness errors, and program-flow errors when the runnable sits
+    inside a monitored sequence."""
+
+    expected_error = "aliveness"
+
+    def __init__(self, runnable: str) -> None:
+        super().__init__(f"blocked:{runnable}")
+        self.runnable = runnable
+
+    def _apply(self, target: FaultTarget) -> None:
+        target.runnables[self.runnable].enabled = False
+
+    def _revert(self, target: FaultTarget) -> None:
+        target.runnables[self.runnable].enabled = True
+
+
+class TimeScalarFault(FaultModel):
+    """Scales a task's release period ("a time scalar is connected to a
+    slider instrument to change the execution frequency", §4.5).
+
+    ``scalar > 1`` slows the task (aliveness errors: too few heartbeats
+    per monitoring period); ``scalar < 1`` speeds it up (arrival-rate
+    errors: excessive dispatch)."""
+
+    def __init__(self, task: str, scalar: float) -> None:
+        super().__init__(f"time_scalar:{task}:{scalar}")
+        if scalar <= 0:
+            raise ValueError("time scalar must be > 0")
+        self.task = task
+        self.scalar = scalar
+        self.expected_error = "aliveness" if scalar > 1 else "arrival_rate"
+        self._original_cycle: Optional[int] = None
+
+    def _alarm(self, target: FaultTarget) -> Alarm:
+        if target.alarms is None:
+            raise ValueError("target has no alarm table")
+        return target.alarms.get(f"{self.task}Alarm")
+
+    def _apply(self, target: FaultTarget) -> None:
+        alarm = self._alarm(target)
+        self._original_cycle = alarm.cycle
+        new_cycle = max(1, int(round(alarm.cycle * self.scalar)))
+        if alarm.armed:
+            alarm.cancel()
+        alarm.set_rel(new_cycle, new_cycle)
+
+    def _revert(self, target: FaultTarget) -> None:
+        alarm = self._alarm(target)
+        if self._original_cycle is None:
+            return
+        if alarm.armed:
+            alarm.cancel()
+        alarm.set_rel(self._original_cycle, self._original_cycle)
+        self._original_cycle = None
+
+
+class LoopCountFault(FaultModel):
+    """A corrupted loop counter repeats the runnable ``repeat`` times per
+    activation — more heartbeats than hypothesised (arrival rate), and
+    self-loop transitions the flow table may not allow."""
+
+    expected_error = "arrival_rate"
+
+    def __init__(self, runnable: str, repeat: int = 3) -> None:
+        super().__init__(f"loop_count:{runnable}:{repeat}")
+        if repeat < 2:
+            raise ValueError("repeat must be >= 2 to be a fault")
+        self.runnable = runnable
+        self.repeat = repeat
+
+    def _apply(self, target: FaultTarget) -> None:
+        target.runnables[self.runnable].repeat = self.repeat
+
+    def _revert(self, target: FaultTarget) -> None:
+        target.runnables[self.runnable].repeat = 1
+
+
+class SkipRunnableFault(FaultModel):
+    """Invalid execution branch that jumps *over* one runnable of a
+    chart's sequence (predecessor connects directly to the successor).
+    Provokes program-flow errors, plus aliveness errors for the skipped
+    runnable."""
+
+    expected_error = "program_flow"
+
+    def __init__(self, chart: str, skipped: str) -> None:
+        super().__init__(f"skip:{chart}:{skipped}")
+        self.chart = chart
+        self.skipped = skipped
+
+    def _apply(self, target: FaultTarget) -> None:
+        chart = target.charts[self.chart]
+        sequence = chart.runnables
+        skipped = self.skipped
+
+        def decide(task, step, previous):
+            index = 0 if previous is None else sequence.index(previous) + 1
+            while index < len(sequence) and sequence[index].name == skipped:
+                index += 1
+            return sequence[index] if index < len(sequence) else None
+
+        chart.decide = decide
+
+    def _revert(self, target: FaultTarget) -> None:
+        target.charts[self.chart].reset_decision()
+
+
+class InvalidBranchFault(FaultModel):
+    """Invalid execution branch: at step ``at_step`` the chart branches
+    to ``branch_to`` instead of the nominal runnable ("building invalid
+    execution branches", §4.5)."""
+
+    expected_error = "program_flow"
+
+    def __init__(self, chart: str, at_step: int, branch_to: str) -> None:
+        super().__init__(f"branch:{chart}:{at_step}->{branch_to}")
+        self.chart = chart
+        self.at_step = at_step
+        self.branch_to = branch_to
+
+    def _apply(self, target: FaultTarget) -> None:
+        chart = target.charts[self.chart]
+        nominal = chart._nominal_decide
+        wrong = chart.by_name[self.branch_to]
+
+        def decide(task, step, previous):
+            if step == self.at_step:
+                return wrong
+            return nominal(task, step, previous)
+
+        chart.decide = decide
+
+    def _revert(self, target: FaultTarget) -> None:
+        target.charts[self.chart].reset_decision()
+
+
+class HeartbeatCorruptionFault(FaultModel):
+    """Program-counter corruption analogue: the glue code reports a wrong
+    runnable identity.  The watchdog sees an impossible execution
+    sequence (program-flow error) and misses heartbeats of the real
+    runnable (aliveness error)."""
+
+    expected_error = "program_flow"
+
+    def __init__(self, runnable: str, reported_as: str) -> None:
+        super().__init__(f"hb_corrupt:{runnable}->{reported_as}")
+        self.runnable = runnable
+        self.reported_as = reported_as
+        self._original_name: Optional[str] = None
+
+    def _apply(self, target: FaultTarget) -> None:
+        runnable = target.runnables[self.runnable]
+        self._original_name = runnable.name
+        runnable.name = self.reported_as
+
+    def _revert(self, target: FaultTarget) -> None:
+        if self._original_name is not None:
+            target.runnables[self.runnable].name = self._original_name
+            self._original_name = None
+
+
+class HeartbeatOmissionFault(FaultModel):
+    """The glue code is lost (integration fault): the runnable still
+    executes but no longer reports.  Detected as an aliveness error —
+    a false positive from the application's point of view, which is why
+    glue-code generation must be automatic."""
+
+    expected_error = "aliveness"
+
+    def __init__(self, runnable: str) -> None:
+        super().__init__(f"hb_omit:{runnable}")
+        self.runnable = runnable
+        self._saved_glue = None
+
+    def _apply(self, target: FaultTarget) -> None:
+        runnable = target.runnables[self.runnable]
+        self._saved_glue = list(runnable.exit_glue)
+        runnable.exit_glue.clear()
+
+    def _revert(self, target: FaultTarget) -> None:
+        if self._saved_glue is not None:
+            target.runnables[self.runnable].exit_glue.extend(self._saved_glue)
+            self._saved_glue = None
+
+
+class InterruptStormFault(FaultModel):
+    """An interrupt storm steals CPU from every task: application
+    runnables slip their periods (aliveness errors across the board).
+    This is the classic fault an ECU-level hardware watchdog *also*
+    sees, used to compare detection granularity."""
+
+    expected_error = "aliveness"
+
+    def __init__(self, period: int, isr_duration: int, *, name: str = "storm") -> None:
+        super().__init__(f"isr_storm:{name}")
+        if period <= 0 or isr_duration <= 0:
+            raise ValueError("period and duration must be > 0")
+        self.period = period
+        self.isr_duration = isr_duration
+        self._isr: Optional[Isr] = None
+
+    def _apply(self, target: FaultTarget) -> None:
+        kernel = target.kernel
+        fault = self
+
+        def handler() -> None:
+            if not fault.active:
+                return
+
+        self._isr = Isr(self.name, kernel, handler, duration=self.isr_duration)
+
+        def fire_and_rearm() -> None:
+            if not fault.active or fault._isr is None:
+                return
+            fault._isr.fire()
+            kernel.queue.schedule(
+                kernel.clock.now + fault.period, fire_and_rearm,
+                label=fault.name, persistent=True,
+            )
+
+        kernel.queue.schedule(
+            kernel.clock.now + self.period, fire_and_rearm, label=self.name,
+            persistent=True,
+        )
+
+    def _revert(self, target: FaultTarget) -> None:
+        self._isr = None

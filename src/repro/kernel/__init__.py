@@ -1,0 +1,64 @@
+"""Discrete-event OSEK-conforming kernel simulation.
+
+This package is the operating-system substrate the paper's Software
+Watchdog is integrated with: an OSEK/VDX-style fixed-priority preemptive
+kernel with tasks, runnables, counters/alarms, resources (priority
+ceiling), OSEK events, ISRs, hooks, and full execution tracing — all
+driven by a deterministic discrete-event simulation of CPU time.
+"""
+
+from .alarms import Alarm, AlarmTable, OsCounter
+from .clock import SimClock, ms, seconds, to_ms, to_s, us
+from .errors import (
+    KernelConfigError,
+    KernelError,
+    SchedulingError,
+    ServiceError,
+    SimulationEnded,
+    StatusType,
+)
+from .events import EventQueue, ScheduledEvent
+from .isr import InterruptController, Isr
+from .runnable import Runnable, SequenceChart, runnable_sequence_body
+from .schedtable import ExpiryPoint, ScheduleTable
+from .scheduler import Hooks, Kernel, Resource
+from .task import Segment, Task, TaskState, Wait, sequence_body
+from .tracing import Trace, TraceKind, TraceRecord
+
+__all__ = [
+    "Alarm",
+    "AlarmTable",
+    "EventQueue",
+    "Hooks",
+    "InterruptController",
+    "Isr",
+    "Kernel",
+    "KernelConfigError",
+    "KernelError",
+    "OsCounter",
+    "Resource",
+    "ExpiryPoint",
+    "Runnable",
+    "ScheduledEvent",
+    "SchedulingError",
+    "ScheduleTable",
+    "Segment",
+    "SequenceChart",
+    "ServiceError",
+    "SimClock",
+    "SimulationEnded",
+    "StatusType",
+    "Task",
+    "TaskState",
+    "Trace",
+    "TraceKind",
+    "TraceRecord",
+    "Wait",
+    "ms",
+    "runnable_sequence_body",
+    "seconds",
+    "sequence_body",
+    "to_ms",
+    "to_s",
+    "us",
+]

@@ -1,0 +1,42 @@
+"""In-vehicle network simulation: CAN, FlexRay, TCP link, gateway.
+
+These are the communication substrates of the EASIS architecture
+validator (§4.1): sensor/actuator traffic rides CAN and FlexRay, the
+telematics domain is a TCP link, and the gateway node routes
+whitelisted frames across domain borders.
+"""
+
+from .can import CanBus, CanController, can_frame_bits
+from .flexray import (
+    FlexRayBus,
+    FlexRayConfigError,
+    FlexRayController,
+    FlexRaySchedule,
+)
+from .frames import (
+    FrameCatalog,
+    FrameError,
+    FrameSpec,
+    Message,
+    SignalSpec,
+)
+from .gateway import Gateway, GatewayPort, Route, TcpLink
+
+__all__ = [
+    "CanBus",
+    "CanController",
+    "FlexRayBus",
+    "FlexRayConfigError",
+    "FlexRayController",
+    "FlexRaySchedule",
+    "FrameCatalog",
+    "FrameError",
+    "FrameSpec",
+    "Gateway",
+    "GatewayPort",
+    "Message",
+    "Route",
+    "SignalSpec",
+    "TcpLink",
+    "can_frame_bits",
+]

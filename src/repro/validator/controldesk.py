@@ -1,0 +1,184 @@
+"""ControlDesk-style experiment environment.
+
+"The experiment environment ControlDesk from dSPACE provides the
+possibility to manipulate the data assigned to the timing parameter of
+runnables [and] the condition that determine the invalid execution
+branches in the runtime.  Therefore, it is used to trigger the error
+injection during the execution of the applications and visualize the
+results as well." (§4.5)
+
+This module reproduces those two capabilities against the simulation:
+
+* :class:`ParameterStore` — named runtime parameters with sliders
+  (set-at-time), bound to arbitrary getter/setter pairs,
+* :class:`Capture` — periodic sampling of named probes into time series
+  (the paper's plots sample with "a scalar of 10 ms"), rendered by
+  :mod:`repro.analysis.plots`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..kernel.clock import ms
+from ..kernel.scheduler import Kernel
+
+Getter = Callable[[], float]
+Setter = Callable[[float], None]
+
+
+@dataclass
+class Parameter:
+    """One runtime-tunable parameter (a ControlDesk instrument)."""
+
+    name: str
+    getter: Getter
+    setter: Setter
+    description: str = ""
+
+    @property
+    def value(self) -> float:
+        return self.getter()
+
+    @value.setter
+    def value(self, new_value: float) -> None:
+        self.setter(new_value)
+
+
+class ParameterStore:
+    """Registry of runtime parameters with scheduled slider moves."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._parameters: Dict[str, Parameter] = {}
+        self.change_log: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, getter: Getter, setter: Setter, description: str = ""
+    ) -> Parameter:
+        """Expose a parameter."""
+        if name in self._parameters:
+            raise ValueError(f"duplicate parameter {name!r}")
+        parameter = Parameter(name, getter, setter, description)
+        self._parameters[name] = parameter
+        return parameter
+
+    def register_attribute(self, name: str, obj: Any, attribute: str, description: str = "") -> Parameter:
+        """Expose ``obj.attribute`` as a parameter."""
+        return self.register(
+            name,
+            getter=lambda: getattr(obj, attribute),
+            setter=lambda v: setattr(obj, attribute, v),
+            description=description,
+        )
+
+    def get(self, name: str) -> Parameter:
+        parameter = self._parameters.get(name)
+        if parameter is None:
+            raise KeyError(f"unknown parameter {name!r}")
+        return parameter
+
+    # ------------------------------------------------------------------
+    def set_now(self, name: str, value: float) -> None:
+        """Move a slider immediately."""
+        self.get(name).value = value
+        self.change_log.append((self.kernel.clock.now, name, value))
+
+    def set_at(self, when: int, name: str, value: float) -> None:
+        """Schedule a slider move at an absolute simulation time."""
+        self.get(name)  # fail fast on unknown names
+        self.kernel.queue.schedule(
+            when, lambda: self.set_now(name, value), label=f"slider:{name}", persistent=True
+        )
+
+    def parameters(self) -> List[Parameter]:
+        return list(self._parameters.values())
+
+
+@dataclass
+class CapturedSeries:
+    """One captured probe."""
+
+    name: str
+    times: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def at(self, time: int) -> Optional[float]:
+        """Last captured value at or before ``time``."""
+        result: Optional[float] = None
+        for t, v in zip(self.times, self.values):
+            if t > time:
+                break
+            result = v
+        return result
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def final(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+
+class Capture:
+    """Periodic sampling of named probes (a ControlDesk capture layout)."""
+
+    def __init__(self, kernel: Kernel, *, sample_period: int = ms(10)) -> None:
+        if sample_period <= 0:
+            raise ValueError("sample_period must be > 0")
+        self.kernel = kernel
+        self.sample_period = sample_period
+        self._probes: Dict[str, Getter] = {}
+        self.series: Dict[str, CapturedSeries] = {}
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def add_probe(self, name: str, getter: Getter) -> None:
+        """Add a probe sampled at every capture tick."""
+        if name in self._probes:
+            raise ValueError(f"duplicate probe {name!r}")
+        self._probes[name] = getter
+        self.series[name] = CapturedSeries(name)
+
+    def add_attribute_probe(self, name: str, obj: Any, attribute: str) -> None:
+        """Probe ``obj.attribute``."""
+        self.add_probe(name, lambda: getattr(obj, attribute))
+
+    def start(self) -> None:
+        """Begin sampling at the configured period."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.sample_period, self._sample,
+            label="capture", persistent=True
+        )
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.kernel.clock.now
+        for name, getter in self._probes.items():
+            series = self.series[name]
+            series.times.append(now)
+            series.values.append(float(getter()))
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> CapturedSeries:
+        series = self.series.get(name)
+        if series is None:
+            raise KeyError(f"unknown probe {name!r}")
+        return series
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """{probe: values} for analysis/plotting."""
+        return {name: list(s.values) for name, s in self.series.items()}

@@ -1,0 +1,203 @@
+"""Multi-ECU validator: distributed supervision across domain borders.
+
+Extends the architecture validator to the EASIS vision of *Integrated
+Safety Systems spanning several ECUs*: two supervised nodes share one
+CAN segment and one simulated time base; each runs its own OSEK kernel
+image (its own task set, alarms, watchdog, FMF) and publishes
+supervision frames from inside its watchdog task; a
+:class:`~repro.core.distributed.RemoteSupervisor` on the central node
+watches the peer's stream.
+
+Modelling note: both nodes' tasks execute on one simulated CPU (one
+:class:`~repro.kernel.Kernel`), which conflates their processor load.
+That is irrelevant at the rig's low utilisation, but it means
+*starvation*-type node faults must be injected as explicit crashes
+(:meth:`MultiEcuValidator.crash_node` — alarms cancelled, tasks
+force-terminated, i.e. node power loss / lockup) rather than via CPU
+hogs, which would starve both nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.distributed import (
+    NodeAlivenessError,
+    RemoteSupervisor,
+    SupervisionPublisher,
+    make_supervision_frame_spec,
+)
+from ..core.reports import MonitorState
+from ..kernel.clock import ms
+from ..kernel.scheduler import Kernel
+from ..network.can import CanBus, CanController
+from ..platform.application import (
+    Application,
+    RunnableSpec,
+    SoftwareComponent,
+    TaskMapping,
+    TaskSpec,
+)
+from ..platform.ecu import Ecu
+from ..platform.fmf import FmfPolicy
+
+#: FMF configuration for supervised nodes: observe, do not auto-treat
+#: (an ECU software reset on a *shared* kernel would reset both nodes).
+_OBSERVE = FmfPolicy(ecu_faulty_task_threshold=10**6, max_app_restarts=10**6)
+
+
+def _node_mapping(node: str, *, period: int, priority: int) -> TaskMapping:
+    """A three-runnable application unique to one node."""
+    app = Application(f"{node}App")
+    swc = SoftwareComponent(f"{node}Swc")
+    names = [f"{node}.sense", f"{node}.process", f"{node}.act"]
+    for name, wcet in zip(names, (ms(0.5), ms(1), ms(0.5))):
+        swc.add(RunnableSpec(name, wcet=wcet))
+    app.add_component(swc)
+    mapping = TaskMapping([app])
+    mapping.add_task(TaskSpec(f"{node}Task", priority=priority, period=period))
+    mapping.map_sequence(f"{node}Task", names)
+    return mapping
+
+
+class SupervisedNode:
+    """One ECU on the shared rig, publishing supervision frames."""
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        kernel: Kernel,
+        can: CanBus,
+        *,
+        period: int = ms(10),
+        priority: int = 5,
+    ) -> None:
+        self.name = name
+        self.index = index
+        self.ecu = Ecu(
+            name,
+            _node_mapping(name, period=period, priority=priority),
+            kernel=kernel,
+            watchdog_period=ms(10),
+            watchdog_name=f"{name}Watchdog",
+            fmf_policy=_OBSERVE,
+            fmf_auto_treatment=False,
+        )
+        self.controller: CanController = can.attach(name)
+        self.frame_spec = make_supervision_frame_spec(index, name)
+        self.publisher = SupervisionPublisher(
+            self.ecu.watchdog, self.frame_spec, self.controller.send
+        )
+        # Publish from the watchdog task: the stream is a true node
+        # heartbeat — it stops when the node's scheduling stops.
+        self.ecu.binding.post_check_hooks.append(self.publisher.publish)
+        self.crashed = False
+
+    def crash(self) -> None:
+        """Node lockup / power loss: no task of this node runs again."""
+        self.crashed = True
+        for alarm in self.ecu.alarms.alarms.values():
+            if alarm.armed:
+                alarm.cancel()
+        for task_name in list(self.ecu.kernel.tasks):
+            if task_name.startswith(self.name):
+                self.ecu.kernel.force_terminate(task_name)
+
+    def recover(self) -> None:
+        """Node reboot: re-arm its schedule."""
+        self.crashed = False
+        self.ecu.alarms.rearm_after_reset()
+        self.ecu.watchdog.reset()
+
+
+class MultiEcuValidator:
+    """Two supervised nodes plus a central supervisor on one CAN segment."""
+
+    def __init__(
+        self,
+        node_names: Optional[List[str]] = None,
+        *,
+        supervisor_check_period: int = 3,
+        supervisor_min_frames: int = 1,
+        node_period: int = ms(10),
+    ) -> None:
+        self.kernel = Kernel()
+        self.can = CanBus("backbone", self.kernel, bitrate_bps=500_000)
+        names = node_names or ["chassis", "body"]
+        # Shared-CPU caveat: each node's application costs ~2 ms per
+        # period; with many nodes pick a period that keeps the summed
+        # utilisation feasible, or the lowest-priority node genuinely
+        # starves (and its watchdog reports it — correctly).
+        self.nodes: Dict[str, SupervisedNode] = {}
+        for index, name in enumerate(names):
+            node = SupervisedNode(
+                name, index, self.kernel, self.can,
+                period=node_period,
+                priority=5 + index,
+            )
+            self.nodes[name] = node
+
+        # --- the central supervisor node ---------------------------------
+        self.supervisor = RemoteSupervisor(
+            check_period=supervisor_check_period,
+            min_frames=supervisor_min_frames,
+        )
+        self.supervisor_controller = self.can.attach("supervisor")
+        self.supervisor_controller.on_receive(self.supervisor.on_message)
+        for node in self.nodes.values():
+            self.supervisor.watch(node.name, node.frame_spec.frame_id)
+            self.supervisor_controller.accept(node.frame_spec.frame_id)
+        self.node_aliveness_log: List[NodeAlivenessError] = []
+        self.supervisor.add_listener(self.node_aliveness_log.append)
+
+        # The supervisor's own check cadence (a timer on the central node).
+        self._supervision_period = ms(10)
+        self.kernel.queue.schedule(
+            self._supervision_period, self._supervision_tick,
+            label="remote-supervision", persistent=True,
+        )
+
+    def _supervision_tick(self) -> None:
+        self.supervisor.cycle(self.kernel.clock.now)
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self._supervision_period,
+            self._supervision_tick,
+            label="remote-supervision",
+            persistent=True,
+        )
+
+    # ------------------------------------------------------------------
+    def run_for(self, duration: int) -> None:
+        self.kernel.run_for(duration)
+
+    def crash_node(self, name: str) -> None:
+        """Inject a node crash (lockup / power loss)."""
+        self.nodes[name].crash()
+
+    def recover_node(self, name: str) -> None:
+        """Reboot a crashed node."""
+        self.nodes[name].recover()
+
+    # ------------------------------------------------------------------
+    def node_state(self, name: str) -> MonitorState:
+        """The supervisor's verdict on one node."""
+        return self.supervisor.peer_state(name)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "time_ms": self.kernel.clock.now / 1000.0,
+            "nodes": {
+                name: {
+                    "published": node.publisher.published_count,
+                    "crashed": node.crashed,
+                    "supervisor_verdict": self.node_state(name).value,
+                    "frames_seen": self.supervisor.peers[name].frames_received,
+                    "node_aliveness_errors": (
+                        self.supervisor.peers[name].node_aliveness_errors
+                    ),
+                }
+                for name, node in self.nodes.items()
+            },
+            "network_state": self.supervisor.network_state().value,
+        }

@@ -1,0 +1,352 @@
+"""Node models of the EASIS architecture validator.
+
+"The nodes in the architecture validator include fault-tolerant actuator
+and sensor nodes, driving dynamics control, environment simulation,
+light control node and a gateway node, which connects different vehicle
+domains of TCP/IP, CAN and FlexRay." (§4.1)
+
+Every node runs on the validator's single shared kernel (the common
+simulated time base of the rig).  Nodes exchange engineering values only
+through the simulated buses — the central ECU never touches the vehicle
+model directly, exactly like the real rig.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from ..apps.environment import EnvironmentSimulation
+from ..apps.vehicle import Vehicle
+from ..kernel.clock import ms, to_s
+from ..kernel.scheduler import Kernel
+from ..network.can import CanController
+from ..network.flexray import FlexRayController
+from ..network.frames import FrameCatalog, Message
+from ..network.gateway import TcpLink
+
+# ----------------------------------------------------------------------
+# frame catalogue of the rig
+# ----------------------------------------------------------------------
+
+# CAN identifiers (chassis domain).
+ID_VEHICLE_SPEED = 0x100
+ID_ACTUATOR_CMD = 0x110
+ID_SPEED_COMMAND = 0x120
+ID_LANE_POSITION = 0x130
+ID_WARNING = 0x140
+# FlexRay static slots (x-by-wire domain).
+SLOT_HANDWHEEL = 1
+SLOT_STEER_CMD = 2
+SLOT_ROADWHEEL = 3
+# Telematics frame id (TCP domain, routed onto CAN by the gateway).
+ID_TELEMATICS_LIMIT = 0x400
+
+
+def build_validator_catalog() -> FrameCatalog:
+    """The signal database of the validator rig."""
+    catalog = FrameCatalog()
+    catalog.define(
+        "VehicleSpeed",
+        ID_VEHICLE_SPEED,
+        [
+            ("speed_kph", 0, 16, 0.01, 0.0),
+            ("accel_mps2", 16, 16, 0.001, -30.0),
+        ],
+    )
+    catalog.define(
+        "ActuatorCmd",
+        ID_ACTUATOR_CMD,
+        [
+            ("throttle", 0, 8, 1.0 / 250.0, 0.0),
+            ("brake", 8, 8, 1.0 / 250.0, 0.0),
+        ],
+    )
+    catalog.define(
+        "SpeedCommand",
+        ID_SPEED_COMMAND,
+        [("limit_kph", 0, 16, 0.01, 0.0)],
+    )
+    catalog.define(
+        "LanePosition",
+        ID_LANE_POSITION,
+        [
+            ("offset_m", 0, 16, 0.001, -30.0),
+            ("lat_vel_mps", 16, 16, 0.001, -30.0),
+            ("half_width_m", 32, 8, 0.05, 0.0),
+        ],
+    )
+    catalog.define(
+        "Warning",
+        ID_WARNING,
+        [
+            ("active", 0, 1, 1.0, 0.0),
+            ("side", 1, 2, 1.0, -1.0),
+        ],
+    )
+    catalog.define(
+        "Handwheel",
+        0x200,
+        [("angle_rad", 0, 16, 0.001, -30.0)],
+    )
+    catalog.define(
+        "SteerCmd",
+        0x210,
+        [("angle_rad", 0, 16, 0.0001, -3.0)],
+    )
+    catalog.define(
+        "RoadWheel",
+        0x220,
+        [("angle_rad", 0, 16, 0.0001, -3.0)],
+    )
+    catalog.define(
+        "TelematicsLimit",
+        ID_TELEMATICS_LIMIT,
+        [("limit_kph", 0, 16, 0.01, 0.0)],
+    )
+    return catalog
+
+
+class SignalStore:
+    """Latest-value store of received frames (one per receiving node)."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[str, Dict[str, float]] = {}
+        self._timestamps: Dict[str, int] = {}
+        self.received_count = 0
+
+    def ingest(self, message: Message) -> None:
+        """Receive callback: remember the newest values per frame."""
+        self._latest[message.spec.name] = message.values()
+        self._timestamps[message.spec.name] = message.timestamp
+        self.received_count += 1
+
+    def value(self, frame: str, signal: str, default: float = 0.0) -> float:
+        """Latest value of a signal, or ``default`` before first receipt."""
+        return self._latest.get(frame, {}).get(signal, default)
+
+    def age(self, frame: str, now: int) -> Optional[int]:
+        """Ticks since the frame was last received, or None if never."""
+        stamp = self._timestamps.get(frame)
+        return None if stamp is None else now - stamp
+
+
+# ----------------------------------------------------------------------
+# node models
+# ----------------------------------------------------------------------
+
+
+class DrivingDynamicsNode:
+    """Integrates the vehicle model and publishes its sensed state.
+
+    Combines the rig's driving-dynamics and (fault-tolerant) sensor
+    nodes: every ``step_period`` the vehicle advances and the speed,
+    lane-position and road-wheel frames are published.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        vehicle: Vehicle,
+        environment: EnvironmentSimulation,
+        catalog: FrameCatalog,
+        can: CanController,
+        flexray: Optional[FlexRayController] = None,
+        *,
+        step_period: int = ms(5),
+    ) -> None:
+        self.kernel = kernel
+        self.vehicle = vehicle
+        self.environment = environment
+        self.catalog = catalog
+        self.can = can
+        self.flexray = flexray
+        self.step_period = step_period
+        self._previous_offset = 0.0
+        self.published_count = 0
+
+    def start(self) -> None:
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.step_period, self._tick, label="dynamics", persistent=True
+        )
+
+    def _tick(self) -> None:
+        dt = to_s(self.step_period)
+        state = self.vehicle.step(dt)
+        offset = self.environment.lateral_offset(state)
+        lat_vel = (offset - self._previous_offset) / dt
+        self._previous_offset = offset
+
+        self.can.send(
+            self.catalog.by_name("VehicleSpeed"),
+            {"speed_kph": state.speed_kph, "accel_mps2": state.acceleration_mps2},
+        )
+        self.can.send(
+            self.catalog.by_name("LanePosition"),
+            {
+                "offset_m": offset,
+                "lat_vel_mps": lat_vel,
+                "half_width_m": self.environment.road.lane_width_m / 2.0,
+            },
+        )
+        if self.flexray is not None:
+            self.flexray.stage(
+                SLOT_ROADWHEEL,
+                self.catalog.by_name("RoadWheel"),
+                {"angle_rad": state.steering_rad},
+            )
+        self.published_count += 1
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.step_period, self._tick, label="dynamics", persistent=True
+        )
+
+
+class ActuatorNode:
+    """Fault-tolerant actuator node: applies received commands to the
+    vehicle, with a staleness guard (commands older than ``timeout``
+    decay to a safe state — throttle released)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        vehicle: Vehicle,
+        catalog: FrameCatalog,
+        can: CanController,
+        flexray: Optional[FlexRayController] = None,
+        *,
+        timeout: int = ms(100),
+        check_period: int = ms(20),
+    ) -> None:
+        self.kernel = kernel
+        self.vehicle = vehicle
+        self.catalog = catalog
+        self.timeout = timeout
+        self.check_period = check_period
+        self.store = SignalStore()
+        self.safe_state_entries = 0
+        can.accept(ID_ACTUATOR_CMD)
+        can.on_receive(self._on_can)
+        if flexray is not None:
+            flexray.on_receive(self._on_flexray)
+
+    def _on_can(self, message: Message) -> None:
+        if message.spec.name != "ActuatorCmd":
+            return
+        self.store.ingest(message)
+        values = message.values()
+        self.vehicle.commands.throttle = values["throttle"]
+        self.vehicle.commands.brake = values["brake"]
+
+    def _on_flexray(self, message: Message) -> None:
+        if message.spec.name != "SteerCmd":
+            return
+        self.store.ingest(message)
+        self.vehicle.commands.steering_rad = message.values()["angle_rad"]
+
+    def start(self) -> None:
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.check_period, self._guard, label="actuator", persistent=True
+        )
+
+    def _guard(self) -> None:
+        """Staleness watchdog on the actuator command stream."""
+        age = self.store.age("ActuatorCmd", self.kernel.clock.now)
+        if age is not None and age > self.timeout:
+            if self.vehicle.commands.throttle > 0.0:
+                self.safe_state_entries += 1
+            self.vehicle.commands.throttle = 0.0
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.check_period, self._guard, label="actuator", persistent=True
+        )
+
+
+class EnvironmentNode:
+    """Publishes the externally commanded speed limit over telematics.
+
+    Every ``period`` the node evaluates the environment at the vehicle's
+    position and sends the effective limit over the TCP link (the
+    gateway routes it into the chassis CAN as ``SpeedCommand``)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        environment: EnvironmentSimulation,
+        vehicle: Vehicle,
+        catalog: FrameCatalog,
+        tcp: TcpLink,
+        *,
+        period: int = ms(100),
+    ) -> None:
+        self.kernel = kernel
+        self.environment = environment
+        self.vehicle = vehicle
+        self.catalog = catalog
+        self.tcp = tcp
+        self.period = period
+
+    def start(self) -> None:
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.period, self._tick, label="environment", persistent=True
+        )
+
+    def _tick(self) -> None:
+        limit = self.environment.effective_speed_limit(self.vehicle.state.distance_m)
+        self.tcp.send(
+            self.catalog.by_name("TelematicsLimit"),
+            {"limit_kph": limit},
+            source="environment",
+        )
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.period, self._tick, label="environment", persistent=True
+        )
+
+
+class DriverNode:
+    """Synthetic driver: a handwheel angle profile published on FlexRay."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        catalog: FrameCatalog,
+        flexray: FlexRayController,
+        *,
+        profile: Optional[Callable[[float], float]] = None,
+        period: int = ms(10),
+    ) -> None:
+        self.kernel = kernel
+        self.catalog = catalog
+        self.flexray = flexray
+        self.period = period
+        self.profile = profile or (lambda t: 0.15 * math.sin(0.5 * t))
+
+    def start(self) -> None:
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.period, self._tick, label="driver", persistent=True
+        )
+
+    def _tick(self) -> None:
+        angle = self.profile(to_s(self.kernel.clock.now))
+        self.flexray.stage(
+            SLOT_HANDWHEEL, self.catalog.by_name("Handwheel"), {"angle_rad": angle}
+        )
+        self.kernel.queue.schedule(
+            self.kernel.clock.now + self.period, self._tick, label="driver", persistent=True
+        )
+
+
+class LightControlNode:
+    """Receives SafeLane warnings and drives the warning lamp."""
+
+    def __init__(self, can: CanController) -> None:
+        self.lamp_on = False
+        self.activations = 0
+        can.accept(ID_WARNING)
+        can.on_receive(self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.spec.name != "Warning":
+            return
+        active = message.values()["active"] >= 0.5
+        if active and not self.lamp_on:
+            self.activations += 1
+        self.lamp_on = active

@@ -1,0 +1,82 @@
+"""Scenario runner: timed action scripts against the validator rig.
+
+An evaluation case in the paper is a timed sequence of ControlDesk
+manipulations (move a slider at t₁, restore it at t₂) observed through a
+capture layout.  :class:`Scenario` encodes exactly that: a named list of
+``at(time, action)`` steps executed against a :class:`HilValidator` (or
+any object exposing a kernel), returning the capture for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..kernel.scheduler import Kernel
+from .controldesk import Capture
+
+
+@dataclass
+class ScenarioStep:
+    """One timed action."""
+
+    time: int
+    action: Callable[[], None]
+    label: str = ""
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of a scenario run."""
+
+    name: str
+    duration: int
+    capture: Optional[Capture]
+    observations: Dict[str, Any] = field(default_factory=dict)
+
+
+class Scenario:
+    """A named, timed action script."""
+
+    def __init__(self, name: str, *, duration: int) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self.name = name
+        self.duration = duration
+        self.steps: List[ScenarioStep] = []
+        self._observers: List[Callable[[ScenarioResult], None]] = []
+
+    def at(self, time: int, action: Callable[[], None], label: str = "") -> "Scenario":
+        """Schedule an action at an absolute scenario time (chainable)."""
+        if not 0 <= time <= self.duration:
+            raise ValueError(f"step time {time} outside scenario duration")
+        self.steps.append(ScenarioStep(time, action, label))
+        return self
+
+    def observe(self, observer: Callable[[ScenarioResult], None]) -> "Scenario":
+        """Add a post-run observer that may fill ``result.observations``."""
+        self._observers.append(observer)
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self, rig: Any) -> ScenarioResult:
+        """Execute against a rig exposing ``kernel`` (and optionally
+        ``capture`` and ``start``)."""
+        kernel: Kernel = rig.kernel
+        base = kernel.clock.now
+        for step in sorted(self.steps, key=lambda s: s.time):
+            kernel.queue.schedule(
+                base + step.time, step.action, label=f"scenario:{step.label}", persistent=True
+            )
+        if hasattr(rig, "run"):
+            rig.run(self.duration)
+        else:
+            kernel.run_for(self.duration)
+        result = ScenarioResult(
+            name=self.name,
+            duration=self.duration,
+            capture=getattr(rig, "capture", None),
+        )
+        for observer in self._observers:
+            observer(result)
+        return result

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import AlarmTable, Kernel
+from repro.platform import TaskMapping
+
+from testutil import make_safespeed_mapping
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh kernel."""
+    return Kernel()
+
+
+@pytest.fixture
+def alarms(kernel: Kernel) -> AlarmTable:
+    """An alarm table on the fresh kernel."""
+    return AlarmTable(kernel)
+
+
+@pytest.fixture
+def safespeed_mapping() -> TaskMapping:
+    return make_safespeed_mapping()

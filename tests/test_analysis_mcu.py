@@ -1,0 +1,82 @@
+"""Tests for the target-MCU overhead projection (outlook's S12XF study)."""
+
+import pytest
+
+from repro.analysis import (
+    CORTEX_M7,
+    S12XF,
+    check_cycle_cycles,
+    heartbeat_cycles,
+    project_cpu_load,
+    projection_rows,
+)
+from repro.analysis.mcu import McuProfile
+
+
+class TestPrimitiveCosts:
+    def test_heartbeat_cost_composition(self):
+        cost = heartbeat_cycles(S12XF)
+        expected = (
+            S12XF.cycles_call_overhead
+            + S12XF.cycles_table_probe
+            + 2 * S12XF.cycles_counter_inc
+            + S12XF.cycles_compare
+        )
+        assert cost == expected
+
+    def test_check_cost_scales_with_runnables(self):
+        assert check_cycle_cycles(S12XF, 20) > check_cycle_cycles(S12XF, 10)
+        delta = check_cycle_cycles(S12XF, 11) - check_cycle_cycles(S12XF, 10)
+        assert delta == (3 * S12XF.cycles_counter_inc + 2 * S12XF.cycles_compare)
+
+    def test_modern_mcu_cheaper_per_op(self):
+        assert heartbeat_cycles(CORTEX_M7) < heartbeat_cycles(S12XF)
+
+
+class TestProjection:
+    def test_validator_workload_feasible_on_s12xf(self):
+        """The outlook's feasibility question: the full validator
+        workload costs well under 1 % CPU on the S12XF."""
+        load = project_cpu_load(
+            S12XF,
+            monitored_runnables=9,
+            heartbeats_per_second=900.0,
+            check_period_s=0.01,
+        )
+        assert load["cpu_fraction"] < 0.01
+
+    def test_cpu_fraction_composition(self):
+        load = project_cpu_load(
+            S12XF, monitored_runnables=9,
+            heartbeats_per_second=900.0, check_period_s=0.01,
+        )
+        assert load["total_cycles_per_s"] == pytest.approx(
+            load["heartbeat_cycles_per_s"] + load["check_cycles_per_s"]
+        )
+
+    def test_load_scales_with_heartbeat_rate(self):
+        low = project_cpu_load(S12XF, monitored_runnables=9,
+                               heartbeats_per_second=100.0, check_period_s=0.01)
+        high = project_cpu_load(S12XF, monitored_runnables=9,
+                                heartbeats_per_second=10_000.0,
+                                check_period_s=0.01)
+        assert high["cpu_fraction"] > low["cpu_fraction"]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            project_cpu_load(S12XF, monitored_runnables=1,
+                             heartbeats_per_second=1.0, check_period_s=0.0)
+
+    def test_projection_rows(self):
+        rows = projection_rows()
+        assert {r["mcu"] for r in rows} == {S12XF.name, CORTEX_M7.name}
+        assert all(r["cpu_percent"] < 1.0 for r in rows)
+
+    def test_custom_profile(self):
+        slow = McuProfile("slow", clock_hz=1_000_000, cycles_table_probe=100,
+                          cycles_counter_inc=20, cycles_compare=10,
+                          cycles_call_overhead=100)
+        load = project_cpu_load(slow, monitored_runnables=9,
+                                heartbeats_per_second=900.0,
+                                check_period_s=0.01)
+        assert load["cpu_fraction"] > 0.1  # a 1 MHz part would struggle

@@ -1,0 +1,117 @@
+"""Tests for trace post-processing."""
+
+from repro.analysis import (
+    activation_times,
+    detection_latency,
+    heartbeat_gaps,
+    heartbeat_times,
+    injection_times,
+    observed_periods,
+    preemption_counts,
+    response_time_stats,
+    response_times,
+    utilization_by_task,
+)
+from repro.kernel import Trace, TraceKind, TraceRecord
+
+
+def build_trace(records):
+    trace = Trace()
+    for time, kind, subject, info in records:
+        trace.emit(TraceRecord(time=time, kind=kind, subject=subject, info=info))
+    return trace
+
+
+class TestActivationAnalysis:
+    def test_activation_times_and_periods(self):
+        trace = build_trace([
+            (10, TraceKind.TASK_ACTIVATE, "T", {}),
+            (20, TraceKind.TASK_ACTIVATE, "T", {}),
+            (35, TraceKind.TASK_ACTIVATE, "T", {}),
+        ])
+        assert activation_times(trace, "T") == [10, 20, 35]
+        assert observed_periods(trace, "T") == [10, 15]
+
+    def test_response_times_matched_in_order(self):
+        trace = build_trace([
+            (10, TraceKind.TASK_ACTIVATE, "T", {}),
+            (14, TraceKind.TASK_TERMINATE, "T", {}),
+            (20, TraceKind.TASK_ACTIVATE, "T", {}),
+            (29, TraceKind.TASK_TERMINATE, "T", {}),
+        ])
+        assert response_times(trace, "T") == [4, 9]
+
+    def test_unterminated_activation_dropped(self):
+        trace = build_trace([
+            (10, TraceKind.TASK_ACTIVATE, "T", {}),
+            (14, TraceKind.TASK_TERMINATE, "T", {}),
+            (20, TraceKind.TASK_ACTIVATE, "T", {}),  # hangs
+        ])
+        assert response_times(trace, "T") == [4]
+
+    def test_response_time_stats(self):
+        trace = build_trace([
+            (10, TraceKind.TASK_ACTIVATE, "T", {}),
+            (14, TraceKind.TASK_TERMINATE, "T", {}),
+            (20, TraceKind.TASK_ACTIVATE, "T", {}),
+            (30, TraceKind.TASK_TERMINATE, "T", {}),
+        ])
+        stats = response_time_stats(trace, "T")
+        assert stats.count == 2
+        assert stats.mean == 7.0
+        assert stats.maximum == 10
+        assert stats.minimum == 4
+
+    def test_stats_none_when_never_ran(self):
+        assert response_time_stats(build_trace([]), "T") is None
+
+
+class TestHeartbeatAnalysis:
+    def test_heartbeat_times_and_gaps(self):
+        trace = build_trace([
+            (10, TraceKind.HEARTBEAT, "R", {}),
+            (20, TraceKind.HEARTBEAT, "R", {}),
+            (45, TraceKind.HEARTBEAT, "R", {}),
+        ])
+        assert heartbeat_times(trace, "R") == [10, 20, 45]
+        assert heartbeat_gaps(trace, "R") == [10, 25]
+
+
+class TestInjectionAnalysis:
+    def test_injection_times(self):
+        trace = build_trace([
+            (100, TraceKind.FAULT_INJECTED, "blocked:R", {}),
+            (500, TraceKind.FAULT_INJECTED, "branch:X", {}),
+        ])
+        assert injection_times(trace) == [(100, "blocked:R"), (500, "branch:X")]
+
+    def test_detection_latency_matching(self):
+        trace = build_trace([
+            (100, TraceKind.FAULT_INJECTED, "f1", {}),
+            (600, TraceKind.FAULT_INJECTED, "f2", {}),
+        ])
+        latencies = detection_latency(trace, detection_times=[150, 700])
+        assert latencies == [50, 100]
+
+    def test_missed_detection_is_none(self):
+        trace = build_trace([(100, TraceKind.FAULT_INJECTED, "f1", {})])
+        assert detection_latency(trace, detection_times=[]) == [None]
+
+
+class TestStructuralAnalysis:
+    def test_preemption_counts(self):
+        trace = build_trace([
+            (10, TraceKind.TASK_PREEMPT, "A", {}),
+            (20, TraceKind.TASK_PREEMPT, "A", {}),
+            (30, TraceKind.TASK_PREEMPT, "B", {}),
+        ])
+        assert preemption_counts(trace) == {"A": 2, "B": 1}
+
+    def test_utilization_by_task(self):
+        trace = build_trace([
+            (10, TraceKind.RUNNABLE_START, "r1", {"task": "T"}),
+            (14, TraceKind.RUNNABLE_END, "r1", {"task": "T"}),
+            (20, TraceKind.RUNNABLE_START, "r2", {"task": "T"}),
+            (25, TraceKind.RUNNABLE_END, "r2", {"task": "T"}),
+        ])
+        assert utilization_by_task(trace) == {"T": 9}

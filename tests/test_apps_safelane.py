@@ -1,0 +1,115 @@
+"""Tests for the SafeLane lane departure warning application."""
+
+import pytest
+
+from repro.apps import SafeLaneApp, SafeLaneConfig
+
+
+def make_app(**config):
+    sensor_state = {"offset": 0.0, "velocity": 0.0, "half_width": 1.75}
+    warnings = []
+
+    def sensor():
+        return sensor_state["offset"], sensor_state["velocity"], sensor_state["half_width"]
+
+    def warner(active, side):
+        warnings.append((active, side))
+
+    app = SafeLaneApp(sensor, warner, SafeLaneConfig(**config))
+    return app, sensor_state, warnings
+
+
+def run_cycle(app):
+    app.get_lane_position()
+    app.ldw_process()
+    app.warn_process()
+
+
+class TestDetection:
+    def test_centered_no_warning(self):
+        app, state, warnings = make_app()
+        run_cycle(app)
+        assert not app.state.warning
+        assert warnings[-1] == (False, 0)
+
+    def test_large_offset_warns(self):
+        app, state, warnings = make_app()
+        state["offset"] = 1.7  # 97 % of half-width
+        run_cycle(app)
+        assert app.state.warning
+        assert warnings[-1] == (True, 1)
+
+    def test_side_reported(self):
+        app, state, warnings = make_app()
+        state["offset"] = -1.7
+        run_cycle(app)
+        assert warnings[-1] == (True, -1)
+
+    def test_fast_drift_warns_before_boundary(self):
+        """TTC-based early warning while still well inside the lane."""
+        app, state, warnings = make_app(ttc_threshold_s=1.0)
+        state["offset"] = 0.8
+        state["velocity"] = 1.2  # crossing in (1.75-0.8)/1.2 = 0.79 s
+        run_cycle(app)
+        assert app.state.warning
+        assert app.state.time_to_crossing_s == pytest.approx(0.79, abs=0.01)
+
+    def test_slow_drift_no_early_warning(self):
+        app, state, warnings = make_app(ttc_threshold_s=1.0)
+        state["offset"] = 0.8
+        state["velocity"] = 0.2  # crossing in 4.75 s
+        run_cycle(app)
+        assert not app.state.warning
+
+    def test_drifting_back_inward_no_ttc_warning(self):
+        app, state, warnings = make_app()
+        state["offset"] = 1.0
+        state["velocity"] = -1.5  # moving towards centre
+        run_cycle(app)
+        assert not app.state.warning
+
+    def test_no_velocity_infinite_ttc(self):
+        app, state, _ = make_app()
+        state["offset"] = 0.5
+        run_cycle(app)
+        assert app.state.time_to_crossing_s == float("inf")
+
+
+class TestHysteresis:
+    def test_warning_holds_until_release_fraction(self):
+        app, state, warnings = make_app(
+            offset_engage_fraction=0.9, offset_release_fraction=0.7
+        )
+        state["offset"] = 1.7
+        run_cycle(app)
+        assert app.state.warning
+        state["offset"] = 1.4  # 80 %: above release threshold
+        run_cycle(app)
+        assert app.state.warning
+        state["offset"] = 1.0  # 57 %: clearly back in lane
+        run_cycle(app)
+        assert not app.state.warning
+
+    def test_warnings_raised_counts_rising_edges(self):
+        app, state, _ = make_app()
+        state["offset"] = 1.7
+        run_cycle(app)
+        run_cycle(app)
+        state["offset"] = 0.0
+        run_cycle(app)
+        state["offset"] = 1.7
+        run_cycle(app)
+        assert app.state.warnings_raised == 2
+
+
+class TestApplicationModel:
+    def test_builds_three_runnables(self):
+        app, _, _ = make_app()
+        application = app.build_application()
+        assert application.name == "SafeLane"
+        assert len(application.runnable_names()) == 3
+
+    def test_wcet_count_enforced(self):
+        app, _, _ = make_app()
+        with pytest.raises(ValueError):
+            app.build_application(wcets=[1])

@@ -1,0 +1,132 @@
+"""Tests for the SafeSpeed application (Figure 4)."""
+
+import pytest
+
+from repro.apps import (
+    RUNNABLE_SEQUENCE,
+    SafeSpeedApp,
+    SafeSpeedConfig,
+    Vehicle,
+)
+
+
+def make_app(limit=100.0, vehicle=None, **config):
+    vehicle = vehicle or Vehicle()
+
+    def sensor():
+        return vehicle.state.speed_kph, limit
+
+    def actuator(throttle, brake):
+        vehicle.commands.throttle = throttle
+        vehicle.commands.brake = brake
+
+    return SafeSpeedApp(sensor, actuator, SafeSpeedConfig(**config)), vehicle
+
+
+def run_closed_loop(app, vehicle, steps, dt=0.01):
+    for _ in range(steps):
+        app.get_sensor_value()
+        app.safe_cc_process()
+        app.speed_process()
+        vehicle.step(dt)
+
+
+class TestRunnables:
+    def test_sensor_runnable_updates_blackboard(self):
+        app, vehicle = make_app(limit=80.0)
+        vehicle.state.speed_mps = 10.0
+        app.get_sensor_value()
+        assert app.state.speed_kph == pytest.approx(36.0)
+        assert app.state.limit_kph == 80.0
+        assert app.state.samples == 1
+
+    def test_control_below_band_cruises(self):
+        app, _ = make_app(limit=100.0)
+        app.state.speed_kph = 50.0
+        app.state.limit_kph = 100.0
+        app.safe_cc_process()
+        assert app.state.throttle_cmd == app.config.cruise_throttle
+        assert app.state.brake_cmd == 0.0
+        assert app.state.interventions == 0
+
+    def test_control_above_limit_brakes(self):
+        app, _ = make_app(limit=100.0)
+        app.state.speed_kph = 130.0
+        app.state.limit_kph = 100.0
+        app.safe_cc_process()
+        assert app.state.brake_cmd > 0.0
+        assert app.state.throttle_cmd == 0.0
+        assert app.state.interventions == 1
+
+    def test_actuator_runnable_writes_commands(self):
+        app, vehicle = make_app()
+        app.state.throttle_cmd = 0.7
+        app.state.brake_cmd = 0.0
+        app.speed_process()
+        assert vehicle.commands.throttle == 0.7
+
+    def test_overshoot_tracking(self):
+        app, vehicle = make_app(limit=50.0)
+        vehicle.state.speed_mps = 20.0  # 72 kph
+        app.get_sensor_value()
+        assert app.state.max_overshoot_kph == pytest.approx(22.0)
+
+
+class TestClosedLoop:
+    def test_limits_speed_to_command(self):
+        app, vehicle = make_app(limit=60.0)
+        run_closed_loop(app, vehicle, steps=12_000)
+        assert vehicle.state.speed_kph <= 61.0
+        assert vehicle.state.speed_kph >= 50.0  # actually driving
+
+    def test_no_runaway_overshoot(self):
+        app, vehicle = make_app(limit=60.0)
+        run_closed_loop(app, vehicle, steps=12_000)
+        assert app.state.max_overshoot_kph < 5.0
+
+    def test_responds_to_lower_limit(self):
+        limit_holder = {"limit": 100.0}
+        vehicle = Vehicle()
+
+        def sensor():
+            return vehicle.state.speed_kph, limit_holder["limit"]
+
+        def actuator(throttle, brake):
+            vehicle.commands.throttle = throttle
+            vehicle.commands.brake = brake
+
+        app = SafeSpeedApp(sensor, actuator)
+        run_closed_loop(app, vehicle, steps=10_000)
+        assert vehicle.state.speed_kph > 90.0
+        limit_holder["limit"] = 50.0
+        run_closed_loop(app, vehicle, steps=10_000)
+        assert vehicle.state.speed_kph <= 52.0
+
+
+class TestApplicationModel:
+    def test_builds_three_runnables_in_order(self):
+        app, _ = make_app()
+        application = app.build_application()
+        assert application.name == "SafeSpeed"
+        names = application.runnable_names()
+        assert tuple(names) == RUNNABLE_SEQUENCE
+
+    def test_wcet_count_enforced(self):
+        app, _ = make_app()
+        with pytest.raises(ValueError):
+            app.build_application(wcets=[1, 2])
+
+    def test_behaviours_are_live(self):
+        """The built RunnableSpec behaviours drive the same app state."""
+        app, vehicle = make_app()
+        application = app.build_application()
+        spec = application.components[0].runnables[0]
+        vehicle.state.speed_mps = 5.0
+        spec.behaviour(None, None)
+        assert app.state.samples == 1
+
+    def test_constraint_flags(self):
+        app, _ = make_app()
+        application = app.build_application(restartable=False, ecu_reset_allowed=False)
+        assert not application.restartable
+        assert not application.ecu_reset_allowed

@@ -1,0 +1,102 @@
+"""Tests for the steer-by-wire application."""
+
+import math
+
+import pytest
+
+from repro.apps import SteerByWireApp, SteerByWireConfig, Vehicle
+
+
+def make_app(vehicle=None, handwheel=0.0, **config):
+    vehicle = vehicle or Vehicle()
+    state = {"handwheel": handwheel}
+
+    def handwheel_port():
+        return state["handwheel"]
+
+    def roadwheel_sensor():
+        return vehicle.state.steering_rad
+
+    def actuator(angle):
+        vehicle.commands.steering_rad = angle
+
+    app = SteerByWireApp(handwheel_port, roadwheel_sensor, actuator,
+                         SteerByWireConfig(**config))
+    return app, vehicle, state
+
+
+def run_cycles(app, vehicle, n, dt=0.005):
+    for _ in range(n):
+        app.read_handwheel()
+        app.steering_control()
+        app.apply_steering()
+        vehicle.step(dt)
+
+
+class TestRunnables:
+    def test_target_scaled_by_ratio(self):
+        app, _, state = make_app(handwheel=1.6)
+        app.read_handwheel()
+        assert app.state.target_rad == pytest.approx(0.1)
+
+    def test_target_clamped(self):
+        app, _, state = make_app(handwheel=100.0)
+        app.read_handwheel()
+        assert app.state.target_rad == app.config.max_roadwheel_rad
+
+    def test_rate_limit_respected(self):
+        app, vehicle, state = make_app(handwheel=8.0)
+        app.read_handwheel()
+        app.steering_control()
+        max_step = app.config.max_rate_rps * app.config.sample_time_s
+        assert abs(app.state.command_rad) <= max_step + 1e-12
+
+
+class TestClosedLoop:
+    def test_tracks_handwheel(self):
+        app, vehicle, state = make_app(handwheel=1.6)  # target 0.1 rad
+        vehicle.state.speed_mps = 10.0
+        run_cycles(app, vehicle, 400)
+        assert vehicle.state.steering_rad == pytest.approx(0.1, abs=0.01)
+
+    def test_returns_to_center(self):
+        app, vehicle, state = make_app(handwheel=1.6)
+        vehicle.state.speed_mps = 10.0
+        run_cycles(app, vehicle, 400)
+        state["handwheel"] = 0.0
+        run_cycles(app, vehicle, 400)
+        assert abs(vehicle.state.steering_rad) < 0.01
+
+    def test_tracking_error_metric(self):
+        app, vehicle, state = make_app(handwheel=1.6)
+        run_cycles(app, vehicle, 10)
+        assert app.state.max_tracking_error_rad > 0.0
+
+    def test_sinusoidal_following(self):
+        app, vehicle, state = make_app()
+        vehicle.state.speed_mps = 15.0
+        for i in range(2_000):
+            state["handwheel"] = 1.0 * math.sin(i * 0.005)
+            app.read_handwheel()
+            app.steering_control()
+            app.apply_steering()
+            vehicle.step(0.005)
+        # The road wheel follows within a small tracking error.
+        assert app.state.max_tracking_error_rad < 0.05
+
+
+class TestApplicationModel:
+    def test_defaults_to_non_restartable(self):
+        app, _, _ = make_app()
+        application = app.build_application()
+        assert not application.restartable
+        assert not application.ecu_reset_allowed
+
+    def test_three_runnables(self):
+        app, _, _ = make_app()
+        assert len(app.build_application().runnable_names()) == 3
+
+    def test_wcet_count_enforced(self):
+        app, _, _ = make_app()
+        with pytest.raises(ValueError):
+            app.build_application(wcets=[1, 2, 3, 4])

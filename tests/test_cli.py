@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (["figures"], ["coverage"], ["overhead"], ["latency"],
+                     ["treatment"], ["reconfig"], ["distributed"], ["jitter"],
+                     ["toolchain"], ["rig"], ["all"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_figures_which_validated(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figures", "--which", "7"])
+
+
+class TestExecution:
+    def test_rig_command(self, capsys):
+        assert main(["rig", "--seconds", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "HIL validator" in out
+        assert "can_frames" in out
+
+    def test_jitter_command(self, capsys):
+        assert main(["jitter"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule table" in out
+        assert "alarms (synchronous)" in out
+
+    def test_toolchain_command(self, capsys):
+        assert main(["toolchain"]) == 0
+        out = capsys.readouterr().out
+        assert "bounds_hold=True" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["figures", "--which", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "collaboration of fault detection units" in out
+        assert "PFC_Result" in out

@@ -1,0 +1,73 @@
+"""Tests for the layered HW+SW watchdog arrangement (§2).
+
+"With the increasing density of applications on one ECU, the hardware
+watchdog should be supplemented with software services" — supplemented,
+not replaced.  The layered arrangement kicks the hardware watchdog from
+the Software Watchdog's check task: each stage covers the other's blind
+spot.
+"""
+
+import pytest
+
+from repro.baselines import HardwareWatchdog
+from repro.core import ErrorType, attach_hardware_watchdog_kick
+from repro.faults import BlockedRunnableFault, FaultTarget
+from repro.kernel import Segment, Task, ms, seconds
+from repro.platform import Ecu, FmfPolicy
+
+from testutil import make_safespeed_mapping
+
+
+@pytest.fixture
+def layered():
+    ecu = Ecu(
+        "central",
+        make_safespeed_mapping(),
+        watchdog_period=ms(10),
+        fmf_policy=FmfPolicy(ecu_faulty_task_threshold=10**6,
+                             max_app_restarts=10**6),
+        fmf_auto_treatment=False,
+    )
+    hw = HardwareWatchdog(ecu.kernel, timeout=ms(50))
+    attach_hardware_watchdog_kick(ecu.binding, hw)
+    hw.start()
+    return ecu, hw
+
+
+class TestLayeredArrangement:
+    def test_healthy_neither_stage_fires(self, layered):
+        ecu, hw = layered
+        ecu.run_until(seconds(2))
+        assert not hw.expired
+        assert ecu.watchdog.detection_count() == 0
+        assert hw.kick_count >= 195  # one kick per check cycle
+
+    def test_application_fault_caught_by_software_stage_only(self, layered):
+        ecu, hw = layered
+        ecu.run_until(ms(200))
+        BlockedRunnableFault("SAFE_CC_process").inject(FaultTarget.from_ecu(ecu))
+        ecu.run_until(seconds(2))
+        assert ecu.watchdog.detection_count(ErrorType.ALIVENESS) > 0
+        assert not hw.expired  # the kick stream (watchdog task) is healthy
+
+    def test_watchdog_death_caught_by_hardware_stage(self, layered):
+        """A runaway above the Software Watchdog's priority kills the
+        check task — and with it the kick stream: the hardware stage is
+        the one that still fires."""
+        ecu, hw = layered
+        wd_priority = ecu.kernel.tasks[ecu.binding.task_name].priority
+
+        def runaway_body(task):
+            while True:
+                yield Segment(ms(100))
+
+        ecu.kernel.add_task(Task("Runaway", wd_priority + 1, runaway_body))
+        ecu.run_until(ms(200))
+        checks_before = ecu.watchdog.check_cycle_count
+        ecu.kernel.activate_task("Runaway")
+        ecu.run_until(ecu.now + seconds(1))
+        # The software stage is dead ...
+        assert ecu.watchdog.check_cycle_count == checks_before
+        # ... and the hardware stage detects that within its timeout.
+        assert hw.expired
+        assert hw.expiry_times[0] <= ms(200) + ms(60)

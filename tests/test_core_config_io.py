@@ -1,0 +1,159 @@
+"""Tests for hypothesis serialization and design-time analysis."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ErrorType,
+    FaultHypothesis,
+    FindingSeverity,
+    RunnableHypothesis,
+    ThresholdPolicy,
+    analyze_hypothesis,
+    hypothesis_from_dict,
+    hypothesis_to_dict,
+    is_deployable,
+)
+from repro.kernel import ms
+from repro.platform import SystemBuilder
+from repro.kernel import Kernel
+
+from testutil import make_safespeed_mapping
+
+
+def sample_hypothesis():
+    hyp = FaultHypothesis(
+        thresholds=ThresholdPolicy(default=4, per_type={ErrorType.PROGRAM_FLOW: 3})
+    )
+    hyp.add_runnable(
+        RunnableHypothesis("A", task="T", aliveness_period=2, min_heartbeats=1,
+                           arrival_period=3, max_heartbeats=5)
+    )
+    hyp.add_runnable(RunnableHypothesis("B", task="T", active=False))
+    hyp.allow_sequence(["A", "B"])
+    return hyp
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        original = sample_hypothesis()
+        restored = hypothesis_from_dict(hypothesis_to_dict(original))
+        assert set(restored.runnables) == {"A", "B"}
+        a = restored.runnables["A"]
+        assert (a.aliveness_period, a.min_heartbeats) == (2, 1)
+        assert (a.arrival_period, a.max_heartbeats) == (3, 5)
+        assert not restored.runnables["B"].active
+        assert restored.flow_pairs == original.flow_pairs
+        assert restored.thresholds.default == 4
+        assert restored.thresholds.per_type[ErrorType.PROGRAM_FLOW] == 3
+
+    def test_json_compatible(self):
+        data = hypothesis_to_dict(sample_hypothesis())
+        restored = hypothesis_from_dict(json.loads(json.dumps(data)))
+        assert set(restored.runnables) == {"A", "B"}
+
+    def test_version_checked(self):
+        data = hypothesis_to_dict(sample_hypothesis())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            hypothesis_from_dict(data)
+
+    def test_invalid_flow_rejected_on_load(self):
+        data = hypothesis_to_dict(sample_hypothesis())
+        data["flow_pairs"].append({"predecessor": "ghost", "successor": "A"})
+        with pytest.raises(Exception):
+            hypothesis_from_dict(data)
+
+    def test_roundtrip_of_generated_hypothesis(self, safespeed_mapping):
+        system = SystemBuilder(safespeed_mapping, watchdog_period=ms(10)).build(
+            Kernel()
+        )
+        restored = hypothesis_from_dict(hypothesis_to_dict(system.hypothesis))
+        assert set(restored.runnables) == set(system.hypothesis.runnables)
+
+
+class TestAnalysis:
+    def test_generated_hypothesis_is_deployable(self, safespeed_mapping):
+        system = SystemBuilder(safespeed_mapping, watchdog_period=ms(10)).build(
+            Kernel()
+        )
+        findings = analyze_hypothesis(
+            system.hypothesis, safespeed_mapping, watchdog_period=ms(10)
+        )
+        assert is_deployable(findings), [str(f) for f in findings]
+
+    def test_impossible_min_heartbeats_flagged(self, safespeed_mapping):
+        hyp = FaultHypothesis()
+        # Window = 1 x 10 ms; a 10 ms task guarantees 0 completions in it.
+        hyp.add_runnable(
+            RunnableHypothesis("GetSensorValue", task="SafeSpeedTask",
+                               aliveness_period=1, min_heartbeats=2,
+                               arrival_period=2, max_heartbeats=5)
+        )
+        findings = analyze_hypothesis(hyp, safespeed_mapping,
+                                      watchdog_period=ms(10))
+        errors = [f for f in findings if f.severity is FindingSeverity.ERROR]
+        assert any("min_heartbeats" in f.message for f in errors)
+        assert not is_deployable(findings)
+
+    def test_too_tight_arrival_bound_flagged(self, safespeed_mapping):
+        hyp = FaultHypothesis()
+        # 4 nominal executions per 40 ms window, bound of 2: false alarms.
+        hyp.add_runnable(
+            RunnableHypothesis("GetSensorValue", task="SafeSpeedTask",
+                               aliveness_period=8, min_heartbeats=1,
+                               arrival_period=4, max_heartbeats=2)
+        )
+        findings = analyze_hypothesis(hyp, safespeed_mapping,
+                                      watchdog_period=ms(10))
+        assert any("max_heartbeats" in f.message and
+                   f.severity is FindingSeverity.ERROR for f in findings)
+
+    def test_loose_window_warned(self, safespeed_mapping):
+        hyp = FaultHypothesis()
+        hyp.add_runnable(
+            RunnableHypothesis("GetSensorValue", task="SafeSpeedTask",
+                               aliveness_period=50, min_heartbeats=1,
+                               arrival_period=2, max_heartbeats=3)
+        )
+        findings = analyze_hypothesis(hyp, safespeed_mapping,
+                                      watchdog_period=ms(10))
+        warnings = [f for f in findings if f.severity is FindingSeverity.WARNING]
+        assert any("near-total starvation" in f.message for f in warnings)
+        assert is_deployable(findings)  # warnings do not block deployment
+
+    def test_unplaced_runnable_flagged(self, safespeed_mapping):
+        hyp = FaultHypothesis()
+        hyp.add_runnable(RunnableHypothesis("ghost", task="SafeSpeedTask"))
+        findings = analyze_hypothesis(hyp, safespeed_mapping,
+                                      watchdog_period=ms(10))
+        assert any("not placed" in f.message for f in findings)
+
+    def test_wrong_task_attribution_flagged(self, safespeed_mapping):
+        hyp = FaultHypothesis()
+        hyp.add_runnable(
+            RunnableHypothesis("GetSensorValue", task="WrongTask",
+                               aliveness_period=2, arrival_period=2,
+                               max_heartbeats=3)
+        )
+        findings = analyze_hypothesis(hyp, safespeed_mapping,
+                                      watchdog_period=ms(10))
+        assert any("places it on" in f.message for f in findings)
+
+    def test_unschedulable_task_flagged(self):
+        mapping = make_safespeed_mapping(period=ms(3))  # 4 ms work / 3 ms
+        hyp = FaultHypothesis()
+        hyp.add_runnable(
+            RunnableHypothesis("GetSensorValue", task="SafeSpeedTask",
+                               aliveness_period=2, arrival_period=2,
+                               max_heartbeats=5)
+        )
+        findings = analyze_hypothesis(hyp, mapping, watchdog_period=ms(10))
+        assert any("not schedulable" in f.message for f in findings)
+
+    def test_finding_str(self):
+        from repro.core import HypothesisFinding
+
+        finding = HypothesisFinding(FindingSeverity.ERROR, "R", "broken")
+        assert "[error] R: broken" == str(finding)

@@ -1,0 +1,202 @@
+"""Tests for distributed supervision (publisher + remote supervisor)."""
+
+import pytest
+
+from repro.core import (
+    ErrorType,
+    FaultHypothesis,
+    MonitorState,
+    RemoteSupervisor,
+    RunnableHypothesis,
+    SoftwareWatchdog,
+    SupervisionPublisher,
+    make_supervision_frame_spec,
+)
+from repro.network.frames import Message
+
+
+def make_watchdog():
+    hyp = FaultHypothesis()
+    hyp.add_runnable(RunnableHypothesis("R", task="T", aliveness_period=2))
+    return SoftwareWatchdog(hyp)
+
+
+class FakeBus:
+    """Captures sent frames and can replay them into a supervisor."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, spec, values):
+        self.sent.append(Message(spec=spec, payload=spec.pack(values),
+                                 timestamp=len(self.sent)))
+
+
+class TestFrameSpec:
+    def test_unique_ids_per_node(self):
+        a = make_supervision_frame_spec(0, "a")
+        b = make_supervision_frame_spec(1, "b")
+        assert a.frame_id != b.frame_id
+
+    def test_roundtrip(self):
+        spec = make_supervision_frame_spec(0, "n")
+        payload = spec.pack({"sequence": 41, "ecu_state": 2,
+                             "aliveness_errors": 7, "faulty_tasks": 3})
+        values = spec.unpack(payload)
+        assert values["sequence"] == 41
+        assert values["ecu_state"] == 2
+        assert values["aliveness_errors"] == 7
+        assert values["faulty_tasks"] == 3
+
+
+class TestPublisher:
+    def test_publishes_state(self):
+        wd = make_watchdog()
+        bus = FakeBus()
+        publisher = SupervisionPublisher(wd, make_supervision_frame_spec(0, "n"),
+                                         bus.send)
+        publisher.publish()
+        assert publisher.published_count == 1
+        values = bus.sent[0].values()
+        assert values["sequence"] == 1
+        assert values["ecu_state"] == 0  # OK
+
+    def test_sequence_increments(self):
+        wd = make_watchdog()
+        bus = FakeBus()
+        publisher = SupervisionPublisher(wd, make_supervision_frame_spec(0, "n"),
+                                         bus.send)
+        for _ in range(3):
+            publisher.publish()
+        assert [m.values()["sequence"] for m in bus.sent] == [1, 2, 3]
+
+    def test_error_counts_propagate(self):
+        wd = make_watchdog()
+        bus = FakeBus()
+        publisher = SupervisionPublisher(wd, make_supervision_frame_spec(0, "n"),
+                                         bus.send)
+        wd.check_cycle(10)
+        wd.check_cycle(20)  # aliveness error on R
+        publisher.publish()
+        values = bus.sent[-1].values()
+        assert values["aliveness_errors"] == 1
+        assert values["ecu_state"] >= 1  # suspicious or faulty
+
+    def test_counts_saturate(self):
+        wd = make_watchdog()
+        wd.detected[ErrorType.ALIVENESS] = 5000
+        bus = FakeBus()
+        publisher = SupervisionPublisher(wd, make_supervision_frame_spec(0, "n"),
+                                         bus.send)
+        publisher.publish()
+        assert bus.sent[0].values()["aliveness_errors"] == 1023
+
+
+class TestRemoteSupervisor:
+    def make_pair(self, check_period=3, min_frames=1):
+        supervisor = RemoteSupervisor(check_period=check_period,
+                                      min_frames=min_frames)
+        spec = make_supervision_frame_spec(0, "peer")
+        supervisor.watch("peer", spec.frame_id)
+        return supervisor, spec
+
+    def frame(self, spec, sequence, state=0, timestamp=0):
+        return Message(
+            spec=spec,
+            payload=spec.pack({"sequence": sequence, "ecu_state": state}),
+            timestamp=timestamp,
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RemoteSupervisor(check_period=0)
+
+    def test_duplicate_watch_rejected(self):
+        supervisor, spec = self.make_pair()
+        with pytest.raises(ValueError):
+            supervisor.watch("peer", 0x99)
+
+    def test_healthy_stream_no_errors(self):
+        supervisor, spec = self.make_pair()
+        errors = []
+        supervisor.add_listener(errors.append)
+        seq = 0
+        for cycle in range(9):
+            seq += 1
+            supervisor.on_message(self.frame(spec, seq, timestamp=cycle))
+            supervisor.cycle(cycle)
+        assert errors == []
+        assert supervisor.peer_state("peer") is MonitorState.OK
+
+    def test_silence_detected_at_period_end(self):
+        supervisor, spec = self.make_pair(check_period=3)
+        errors = []
+        supervisor.add_listener(errors.append)
+        supervisor.cycle(10)
+        supervisor.cycle(20)
+        assert errors == []
+        supervisor.cycle(30)  # CCA reaches 3: AC=0 < 1
+        assert len(errors) == 1
+        assert errors[0].node == "peer"
+        assert supervisor.peer_state("peer") is MonitorState.FAULTY
+        assert supervisor.network_state() is MonitorState.FAULTY
+
+    def test_counters_reset_after_check(self):
+        supervisor, spec = self.make_pair(check_period=2)
+        supervisor.cycle(1)
+        supervisor.cycle(2)  # error + reset
+        status = supervisor.peers["peer"]
+        assert status.ac == 0 and status.cca == 0
+
+    def test_recovery_restores_ok(self):
+        supervisor, spec = self.make_pair(check_period=2)
+        supervisor.cycle(1)
+        supervisor.cycle(2)  # dead
+        assert supervisor.peer_state("peer") is MonitorState.FAULTY
+        supervisor.on_message(self.frame(spec, 1))
+        supervisor.cycle(3)
+        supervisor.cycle(4)
+        assert supervisor.peer_state("peer") is MonitorState.OK
+
+    def test_sequence_gap_counted(self):
+        supervisor, spec = self.make_pair()
+        supervisor.on_message(self.frame(spec, 1))
+        supervisor.on_message(self.frame(spec, 2))
+        supervisor.on_message(self.frame(spec, 5))  # lost 3, 4
+        assert supervisor.peers["peer"].sequence_gaps == 1
+
+    def test_sequence_wraparound_not_a_gap(self):
+        supervisor, spec = self.make_pair()
+        supervisor.on_message(self.frame(spec, 0xFFFF))
+        supervisor.on_message(self.frame(spec, 0))
+        assert supervisor.peers["peer"].sequence_gaps == 0
+
+    def test_reported_state_mirrored_when_alive(self):
+        supervisor, spec = self.make_pair(check_period=3)
+        supervisor.on_message(self.frame(spec, 1, state=2))  # self: FAULTY
+        supervisor.cycle(1)
+        assert supervisor.peer_state("peer") is MonitorState.FAULTY
+        supervisor.on_message(self.frame(spec, 2, state=1))  # suspicious
+        supervisor.cycle(2)
+        assert supervisor.peer_state("peer") is MonitorState.SUSPICIOUS
+
+    def test_unwatched_frames_ignored(self):
+        supervisor, spec = self.make_pair()
+        other = make_supervision_frame_spec(7, "other")
+        supervisor.on_message(self.frame(other, 1))
+        assert supervisor.peers["peer"].frames_received == 0
+
+    def test_network_state_aggregates_peers(self):
+        supervisor = RemoteSupervisor(check_period=2)
+        a = make_supervision_frame_spec(0, "a")
+        b = make_supervision_frame_spec(1, "b")
+        supervisor.watch("a", a.frame_id)
+        supervisor.watch("b", b.frame_id)
+        # only a sends
+        supervisor.on_message(Message(spec=a, payload=a.pack({"sequence": 1}),
+                                      timestamp=0))
+        supervisor.cycle(1)
+        supervisor.cycle(2)
+        assert supervisor.peer_state("a") is MonitorState.OK
+        assert supervisor.peer_state("b") is MonitorState.FAULTY
+        assert supervisor.network_state() is MonitorState.FAULTY

@@ -1,0 +1,82 @@
+"""Tests for mining the flow table from healthy execution traces."""
+
+import pytest
+
+from repro.core import ErrorType, FlowTable
+from repro.core.flowcheck import ProgramFlowCheckingUnit
+from repro.faults import FaultTarget, InvalidBranchFault
+from repro.kernel import ms, seconds
+from repro.platform import Ecu, FmfPolicy
+
+from testutil import make_safespeed_mapping
+
+OBSERVE = FmfPolicy(ecu_faulty_task_threshold=10**6, max_app_restarts=10**6)
+
+
+@pytest.fixture
+def golden_ecu():
+    """An ECU after a healthy golden run."""
+    ecu = Ecu("golden", make_safespeed_mapping(), watchdog_period=ms(10),
+              fmf_policy=OBSERVE, fmf_auto_treatment=False)
+    ecu.run_until(seconds(1))
+    assert ecu.watchdog.detection_count() == 0
+    return ecu
+
+
+class TestMining:
+    def test_mined_table_matches_designed_table(self, golden_ecu):
+        mined = FlowTable.mine_from_trace(golden_ecu.kernel.trace)
+        designed = golden_ecu.watchdog.pfc.table
+        names = ["GetSensorValue", "SAFE_CC_process", "Speed_process"]
+        assert mined.entry_points() == designed.entry_points()
+        for pred in [None] + names:
+            for succ in names:
+                assert mined.is_allowed(pred, succ) == designed.is_allowed(
+                    pred, succ
+                ), (pred, succ)
+
+    def test_mined_table_accepts_replay(self, golden_ecu):
+        """Replaying the golden trace through a checker built from the
+        mined table yields zero violations (mining is sound w.r.t. the
+        run it learned from)."""
+        from repro.kernel.tracing import TraceKind
+
+        mined = FlowTable.mine_from_trace(golden_ecu.kernel.trace)
+        pfc = ProgramFlowCheckingUnit(mined)
+        for record in golden_ecu.kernel.trace:
+            if record.kind is TraceKind.TASK_ACTIVATE:
+                pfc.reset_stream(record.subject)
+            elif record.kind is TraceKind.HEARTBEAT:
+                pfc.observe(record.subject, record.time,
+                            record.info.get("task"))
+        assert pfc.violation_count == 0
+
+    def test_mined_table_still_detects_faults(self, golden_ecu):
+        """A fresh system using the mined table flags an invalid branch
+        exactly like the designed table does."""
+        mined = FlowTable.mine_from_trace(golden_ecu.kernel.trace)
+        ecu = Ecu("replay", make_safespeed_mapping(), watchdog_period=ms(10),
+                  fmf_policy=OBSERVE, fmf_auto_treatment=False)
+        ecu.watchdog.pfc.table = mined
+        ecu.run_until(ms(300))
+        assert ecu.watchdog.detection_count(ErrorType.PROGRAM_FLOW) == 0
+        InvalidBranchFault("SafeSpeedTask", 1, "Speed_process").inject(
+            FaultTarget.from_ecu(ecu)
+        )
+        ecu.run_until(ms(600))
+        assert ecu.watchdog.detection_count(ErrorType.PROGRAM_FLOW) > 0
+
+    def test_runnable_filter_restricts_mining(self, golden_ecu):
+        mined = FlowTable.mine_from_trace(
+            golden_ecu.kernel.trace,
+            runnables={"GetSensorValue", "Speed_process"},
+        )
+        assert not mined.is_monitored("SAFE_CC_process")
+        # The filtered runnable is bridged over, like non-critical ones.
+        assert mined.is_allowed("GetSensorValue", "Speed_process")
+
+    def test_mining_empty_trace(self):
+        from repro.kernel import Trace
+
+        mined = FlowTable.mine_from_trace(Trace())
+        assert mined.pair_count() == 0

@@ -1,0 +1,160 @@
+"""Tests for the SoftwareWatchdog facade (unit wiring, Figure 2)."""
+
+import pytest
+
+from repro.core import (
+    ErrorType,
+    FaultHypothesis,
+    HypothesisError,
+    MonitorState,
+    RunnableHypothesis,
+    SoftwareWatchdog,
+    ThresholdPolicy,
+)
+
+
+def make_watchdog(threshold=3, eager=False, app_of_task=None):
+    hyp = FaultHypothesis(thresholds=ThresholdPolicy(default=threshold))
+    for name in ("A", "B", "C"):
+        hyp.add_runnable(
+            RunnableHypothesis(
+                name, task="T", aliveness_period=2, min_heartbeats=1,
+                arrival_period=2, max_heartbeats=3,
+            )
+        )
+    hyp.allow_sequence(["A", "B", "C"])
+    return SoftwareWatchdog(hyp, eager_arrival_detection=eager,
+                            app_of_task=app_of_task or {"T": "App"})
+
+
+def run_healthy_cycle(wd, base_time):
+    wd.notify_task_start("T")
+    for i, name in enumerate(("A", "B", "C")):
+        wd.heartbeat_indication(name, base_time + i, task="T")
+    wd.check_cycle(base_time + 9)
+
+
+class TestWiring:
+    def test_invalid_hypothesis_rejected_at_construction(self):
+        hyp = FaultHypothesis()
+        hyp.allow_flow("ghost1", "ghost2")
+        with pytest.raises(HypothesisError):
+            SoftwareWatchdog(hyp)
+
+    def test_healthy_operation_no_detections(self):
+        wd = make_watchdog()
+        for cycle in range(10):
+            run_healthy_cycle(wd, cycle * 10)
+        assert wd.detection_count() == 0
+        assert wd.ecu_state() is MonitorState.OK
+
+    def test_heartbeat_feeds_both_units(self):
+        wd = make_watchdog()
+        wd.heartbeat_indication("B", 1, task="T")  # illegal entry
+        assert wd.detected[ErrorType.PROGRAM_FLOW] == 1
+        assert wd.hbm.snapshot("B")["AC"] == 1
+
+    def test_fault_listener_invoked(self):
+        wd = make_watchdog()
+        seen = []
+        wd.add_fault_listener(seen.append)
+        wd.heartbeat_indication("C", 1, task="T")
+        assert len(seen) == 1
+        assert seen[0].error_type is ErrorType.PROGRAM_FLOW
+
+    def test_errors_reach_tsi(self):
+        wd = make_watchdog(threshold=2)
+        faults = []
+        wd.add_task_fault_listener(faults.append)
+        wd.heartbeat_indication("B", 1, task="T")
+        wd.heartbeat_indication("B", 2, task="T")  # B->B also illegal
+        assert len(faults) == 1
+        assert wd.task_state("T") is MonitorState.FAULTY
+
+    def test_application_state_roll_up(self):
+        wd = make_watchdog(threshold=1)
+        wd.heartbeat_indication("C", 1, task="T")
+        assert wd.application_state("App") is MonitorState.FAULTY
+
+
+class TestCheckCycle:
+    def test_aliveness_detection_via_cycles(self):
+        wd = make_watchdog()
+        wd.check_cycle(10)
+        wd.check_cycle(20)  # period 2 expires, no heartbeats recorded
+        assert wd.detected[ErrorType.ALIVENESS] == 3  # A, B and C all missed
+        assert wd.check_cycle_count == 2
+
+    def test_detection_count_filters(self):
+        wd = make_watchdog()
+        wd.check_cycle(10)
+        wd.check_cycle(20)
+        assert wd.detection_count(ErrorType.ALIVENESS) == 3
+        assert wd.detection_count(ErrorType.ALIVENESS, runnable="A") == 1
+        assert wd.detection_count(runnable="A") == 1
+        assert wd.detection_count(ErrorType.PROGRAM_FLOW) == 0
+
+    def test_activation_status_gate(self):
+        wd = make_watchdog()
+        wd.set_activation_status("A", False)
+        wd.set_activation_status("B", False)
+        wd.set_activation_status("C", False)
+        wd.check_cycle(10)
+        wd.check_cycle(20)
+        assert wd.detection_count() == 0
+
+
+class TestCapture:
+    def test_capture_records_counters_and_results(self):
+        wd = make_watchdog()
+        history = wd.enable_capture()
+        wd.heartbeat_indication("A", 1, task="T")
+        wd.check_cycle(10)
+        wd.check_cycle(20)
+        assert len(history) == 2
+        assert "A.AC" in history.series
+        assert "AM_Result" in history.series
+        assert "TaskState.T" in history.series
+        # B and C missed the period -> AM_Result is 2 at the second cycle.
+        assert history.column("AM_Result") == [0, 2]
+
+    def test_task_state_in_capture_flips(self):
+        wd = make_watchdog(threshold=2)
+        history = wd.enable_capture()
+        wd.check_cycle(10)
+        wd.check_cycle(20)  # 3 aliveness errors (one per runnable)
+        wd.check_cycle(30)
+        wd.check_cycle(40)  # second error for each -> threshold 2 -> faulty
+        column = history.column("TaskState.T")
+        assert column[-1] == 1
+        assert column[0] == 0
+
+
+class TestSupervisionReports:
+    def test_reports_cover_every_monitored_runnable(self):
+        wd = make_watchdog()
+        wd.heartbeat_indication("C", 1, task="T")  # one flow error
+        reports = wd.supervision_reports(time=100)
+        by_name = {r.runnable: r for r in reports}
+        assert set(by_name) == {"A", "B", "C"}
+        assert by_name["C"].state is MonitorState.SUSPICIOUS
+        assert by_name["C"].error_counts[ErrorType.PROGRAM_FLOW] == 1
+        assert by_name["A"].state is MonitorState.OK
+        assert by_name["A"].total_errors == 0
+
+
+class TestReset:
+    def test_reset_clears_all_state(self):
+        wd = make_watchdog(threshold=1)
+        wd.heartbeat_indication("C", 1, task="T")
+        assert wd.ecu_state() is MonitorState.FAULTY
+        wd.reset()
+        assert wd.detection_count() == 0
+        assert wd.ecu_state() is MonitorState.OK
+        assert wd.check_cycle_count == 0
+
+    def test_after_reset_operates_normally(self):
+        wd = make_watchdog()
+        wd.reset()
+        run_healthy_cycle(wd, 0)
+        assert wd.detection_count() == 0

@@ -1,0 +1,113 @@
+"""Executable documentation: the tutorial's snippets must keep working.
+
+Each test mirrors one section of docs/supervising_your_application.md;
+if the API drifts, these fail before the documentation rots.
+"""
+
+import json
+
+import pytest
+
+from repro.baselines import HardwareWatchdog
+from repro.core import (
+    FaultHypothesis,
+    RunnableHypothesis,
+    analyze_hypothesis,
+    attach_hardware_watchdog_kick,
+    hypothesis_from_dict,
+    hypothesis_to_dict,
+    is_deployable,
+)
+from repro.faults import (
+    BlockedRunnableFault,
+    Campaign,
+    CampaignSystem,
+    FaultTarget,
+    watchdog_detector,
+)
+from repro.kernel import ms
+from repro.platform import (
+    Application,
+    Ecu,
+    FmfPolicy,
+    RunnableSpec,
+    SoftwareComponent,
+    TaskMapping,
+    TaskSpec,
+    is_schedulable,
+)
+from repro.analysis import S12XF, project_cpu_load
+
+
+def brake_mapping():
+    app = Application("BrakeAssist", restartable=True, ecu_reset_allowed=False)
+    swc = SoftwareComponent("BrakeLogic")
+    swc.add(RunnableSpec("ReadPedal", wcet=ms(0.5)))
+    swc.add(RunnableSpec("ComputeForce", wcet=ms(1.5)))
+    swc.add(RunnableSpec("DriveValve", wcet=ms(0.5)))
+    app.add_component(swc)
+    mapping = TaskMapping([app])
+    mapping.add_task(TaskSpec("BrakeTask", priority=6, period=ms(5)))
+    mapping.map_sequence("BrakeTask", ["ReadPedal", "ComputeForce", "DriveValve"])
+    return mapping
+
+
+class TestTutorialSections:
+    def test_section_2_schedulability(self):
+        assert is_schedulable(brake_mapping().task_timings())
+
+    def test_section_3_supervised_system(self):
+        ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5))
+        ecu.run_until(ms(1000))
+        assert ecu.watchdog.detection_count() == 0
+
+    def test_section_4_author_and_validate(self, tmp_path):
+        mapping = brake_mapping()
+        hyp = FaultHypothesis()
+        hyp.add_runnable(RunnableHypothesis(
+            "ComputeForce", task="BrakeTask",
+            aliveness_period=2, min_heartbeats=1,
+            arrival_period=2, max_heartbeats=3,
+        ))
+        hyp.allow_sequence(["ComputeForce"])
+        findings = analyze_hypothesis(hyp, mapping, watchdog_period=ms(5))
+        assert is_deployable(findings)
+
+        path = tmp_path / "brake_hypothesis.json"
+        path.write_text(json.dumps(hypothesis_to_dict(hyp)))
+        restored = hypothesis_from_dict(json.loads(path.read_text()))
+        assert "ComputeForce" in restored.runnables
+
+    def test_section_6_fault_injection_proof(self):
+        def system_factory():
+            ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5),
+                      fmf_policy=FmfPolicy(ecu_faulty_task_threshold=10**6,
+                                           max_app_restarts=10**6),
+                      fmf_auto_treatment=False)
+            return CampaignSystem(
+                target=FaultTarget.from_ecu(ecu),
+                detectors=[watchdog_detector(ecu.watchdog)],
+                run_until=ecu.run_until,
+                now=lambda: ecu.now,
+            )
+
+        campaign = Campaign(system_factory, warmup=ms(200), observation=ms(2000))
+        result = campaign.execute(
+            [lambda s: BlockedRunnableFault("ComputeForce")]
+        )
+        assert result.coverage("SoftwareWatchdog") == 1.0
+
+    def test_section_7_layered_hardware_stage(self):
+        ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5))
+        hw = HardwareWatchdog(ecu.kernel, timeout=ms(50))
+        attach_hardware_watchdog_kick(ecu.binding, hw)
+        hw.start()
+        ecu.run_until(ms(1000))
+        assert not hw.expired
+        assert hw.kick_count >= 195
+
+    def test_section_8_mcu_sizing(self):
+        load = project_cpu_load(S12XF, monitored_runnables=3,
+                                heartbeats_per_second=600,
+                                check_period_s=0.005)
+        assert 0.0 < load["cpu_fraction"] < 0.01

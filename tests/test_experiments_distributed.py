@@ -1,0 +1,42 @@
+"""Tests for the E6 distributed-supervision study."""
+
+import pytest
+
+from repro.experiments import (
+    run_distributed_supervision,
+    run_supervision_latency_sweep,
+)
+from repro.kernel import ms
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_distributed_supervision()
+
+
+class TestDistributedE6:
+    def test_crash_detected_quickly(self, report):
+        assert report.crash_detect_latency_ms is not None
+        assert report.crash_detect_latency_ms <= 70.0
+
+    def test_healthy_peer_isolated(self, report):
+        assert report.healthy_peer_verdict == "ok"
+
+    def test_degradation_propagates_without_false_alarm(self, report):
+        assert report.degraded_state_mirrored
+        assert report.degraded_no_false_node_alarm
+
+    def test_recovery(self, report):
+        assert report.recovered_verdict == "ok"
+
+    def test_heartbeat_stream_rate(self, report):
+        # One supervision frame per 10 ms watchdog cycle.
+        assert report.frames_per_second == pytest.approx(100.0, abs=2.0)
+        assert report.sequence_gaps == 0
+
+    def test_latency_tracks_check_window(self):
+        rows = run_supervision_latency_sweep(check_periods=[2, 10])
+        assert all(r["detected"] for r in rows)
+        assert rows[0]["detect_latency_ms"] < rows[1]["detect_latency_ms"]
+        for row in rows:
+            assert row["detect_latency_ms"] <= 2 * row["check_window_ms"] + 10

@@ -1,0 +1,119 @@
+"""Tests reproducing the paper's evaluation figures (the headline result).
+
+These are the acceptance tests of the reproduction: each asserts the
+*shape* the paper reports for Figures 5 and 6 and for the two evaluation
+cases the text states were "performed as well".
+"""
+
+import pytest
+
+from repro.experiments import run_figure5, run_figure5b, run_figure5c, run_figure6
+from repro.kernel import ms, seconds
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_figure5(warmup=seconds(1), faulty_window=seconds(1),
+                       recovery=ms(500))
+
+
+@pytest.fixture(scope="module")
+def fig5b():
+    return run_figure5b(warmup=seconds(1), faulty_window=seconds(1),
+                        recovery=ms(500))
+
+
+@pytest.fixture(scope="module")
+def fig5c():
+    return run_figure5c(warmup=seconds(1), faulty_window=seconds(1),
+                        recovery=ms(500))
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_figure6()
+
+
+class TestFigure5Aliveness:
+    def test_no_errors_before_injection(self, fig5):
+        assert fig5.measurement("errors_before_injection") == 0
+
+    def test_errors_accumulate_during_fault(self, fig5):
+        assert fig5.measurement("errors_during_fault") > 10
+
+    def test_am_result_monotone_steps(self, fig5):
+        am = fig5.series["AM_Result"]
+        assert all(b >= a for a, b in zip(am, am[1:]))
+        assert am[-1] > am[0]
+
+    def test_detection_stops_after_recovery(self, fig5):
+        # At most a couple of period-straddling detections post-recovery.
+        assert fig5.measurement("errors_after_recovery") <= 3
+
+    def test_only_aliveness_errors(self, fig5):
+        assert fig5.measurement("arrival_rate_errors") == 0
+        assert fig5.measurement("program_flow_errors") == 0
+
+    def test_counter_series_present(self, fig5):
+        assert "SAFE_CC_process.AC" in fig5.series
+        assert "SAFE_CC_process.CCA" in fig5.series
+
+    def test_rendered_figure(self, fig5):
+        assert "Figure 5" in fig5.rendered
+        assert "AM_Result" in fig5.rendered
+
+
+class TestFigure5bArrivalRate:
+    def test_arrival_errors_during_fault(self, fig5b):
+        assert fig5b.measurement("errors_during_fault") > 10
+
+    def test_clean_before_injection(self, fig5b):
+        assert fig5b.measurement("errors_before_injection") == 0
+
+    def test_stops_after_recovery(self, fig5b):
+        assert fig5b.measurement("errors_after_recovery") <= 3
+
+    def test_arm_result_monotone(self, fig5b):
+        arm = fig5b.series["ARM_Result"]
+        assert all(b >= a for a, b in zip(arm, arm[1:]))
+
+
+class TestFigure5cControlFlow:
+    def test_flow_errors_during_fault(self, fig5c):
+        assert fig5c.measurement("errors_during_fault") > 10
+
+    def test_clean_before_injection(self, fig5c):
+        assert fig5c.measurement("errors_before_injection") == 0
+
+    def test_stops_after_recovery(self, fig5c):
+        assert fig5c.measurement("errors_after_recovery") <= 3
+
+
+class TestFigure6Collaboration:
+    def test_task_declared_faulty(self, fig6):
+        assert fig6.measurement("task_faulty")
+
+    def test_pfc_threshold_triggers_task_fault(self, fig6):
+        """The paper: after the third program flow error the task state
+        is set to faulty."""
+        assert fig6.measurement("pfc_errors_at_task_fault") == 3
+
+    def test_aliveness_at_most_one_at_task_fault(self, fig6):
+        """The paper: only one accumulated aliveness error is reported
+        by then — the flow checker wins the root-cause race."""
+        assert fig6.measurement("aliveness_errors_at_task_fault") <= 1
+
+    def test_flow_errors_dominate_aliveness(self, fig6):
+        """Collaboration shape: the PFC result grows much faster than
+        the aliveness result, identifying the real cause."""
+        pfc = fig6.series["PFC_Result"][-1]
+        am = fig6.series["AM_Result"][-1]
+        assert pfc >= 3 * am
+
+    def test_task_state_flips_and_holds(self, fig6):
+        state = fig6.series["TaskState_SafeSpeed"]
+        assert state[0] == 0
+        assert state[-1] == 1
+        # Once faulty, stays faulty (no auto-treatment in this figure).
+        first_faulty = state.index(1)
+        assert all(v == 1 for v in state[first_faulty:])

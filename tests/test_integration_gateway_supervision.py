@@ -1,0 +1,108 @@
+"""Supervision across domain borders: frames routed through the gateway.
+
+EASIS supervises *integrated* safety systems whose nodes live on
+different vehicle domains.  Here a supervised node publishes on a body
+CAN; the supervisor sits on a chassis CAN; the gateway whitelists and
+routes the supervision frame id between them — and node death is still
+detected end-to-end (with the gateway hop visible in the latency).
+"""
+
+import pytest
+
+from repro.core import (
+    MonitorState,
+    RemoteSupervisor,
+    SupervisionPublisher,
+    make_supervision_frame_spec,
+)
+from repro.core.hypothesis import FaultHypothesis, RunnableHypothesis
+from repro.core.watchdog import SoftwareWatchdog
+from repro.kernel import Kernel, ms
+from repro.network import CanBus, Gateway, Route
+
+
+@pytest.fixture
+def rig():
+    kernel = Kernel()
+    body_can = CanBus("body", kernel)
+    chassis_can = CanBus("chassis", kernel)
+
+    # Supervised node on the body domain.
+    hyp = FaultHypothesis()
+    hyp.add_runnable(RunnableHypothesis("R", task="T"))
+    watchdog = SoftwareWatchdog(hyp)
+    spec = make_supervision_frame_spec(0, "bodynode")
+    body_ctrl = body_can.attach("bodynode")
+    publisher = SupervisionPublisher(watchdog, spec, body_ctrl.send)
+
+    # Gateway routes the supervision id across the border.
+    gw = Gateway("gw", kernel, forwarding_latency=ms(1))
+    gw.add_can_port("body", body_can.attach("gw-body"))
+    gw.add_can_port("chassis", chassis_can.attach("gw-chassis"))
+    gw.add_route(Route(source_port="body", frame_id=spec.frame_id,
+                       destination_port="chassis"))
+
+    # Supervisor on the chassis domain.
+    supervisor = RemoteSupervisor(check_period=3)
+    supervisor.watch("bodynode", spec.frame_id)
+    sup_ctrl = chassis_can.attach("supervisor")
+    sup_ctrl.accept(spec.frame_id)
+    sup_ctrl.on_receive(supervisor.on_message)
+
+    state = {"publishing": True}
+
+    def tick():
+        if state["publishing"]:
+            publisher.publish()
+        supervisor.cycle(kernel.clock.now)
+        kernel.queue.schedule(kernel.clock.now + ms(10), tick,
+                              persistent=True)
+
+    kernel.queue.schedule(ms(10), tick, persistent=True)
+    return kernel, supervisor, state, gw
+
+
+class TestCrossDomainSupervision:
+    def test_frames_cross_the_border(self, rig):
+        kernel, supervisor, state, gw = rig
+        kernel.run_until(ms(500))
+        assert gw.forwarded_count >= 48
+        assert supervisor.peers["bodynode"].frames_received >= 45
+        assert supervisor.peer_state("bodynode") is MonitorState.OK
+
+    def test_node_death_detected_across_domains(self, rig):
+        kernel, supervisor, state, gw = rig
+        kernel.run_until(ms(500))
+        state["publishing"] = False  # node dies
+        kernel.run_until(ms(600))
+        assert supervisor.peer_state("bodynode") is MonitorState.FAULTY
+        assert supervisor.peers["bodynode"].node_aliveness_errors >= 1
+
+    def test_unwhitelisted_ids_do_not_cross(self, rig):
+        kernel, supervisor, state, gw = rig
+        from repro.network.frames import FrameSpec, SignalSpec
+
+        other = FrameSpec("Other", 0x123)
+        other.add_signal(SignalSpec("v", 0, 8))
+        body_sender = gw.ports["body"]
+        # Send an unrelated frame on the body bus: the gateway drops it.
+        dropped_before = gw.dropped_count
+        # Reuse a fresh controller on the body bus.
+        kernel.run_until(ms(100))
+        # find the body bus through the gateway's receive path: send via a
+        # new controller attached to the same bus object used in fixture.
+        # (The fixture keeps the bus reachable through closures only, so
+        # route a frame by invoking the gateway entry point directly.)
+        from repro.network.frames import Message
+
+        gw.on_message("body", Message(spec=other, payload=other.pack({"v": 1}),
+                                      timestamp=kernel.clock.now))
+        assert gw.dropped_count == dropped_before + 1
+
+    def test_gateway_hop_adds_bounded_latency(self, rig):
+        kernel, supervisor, state, gw = rig
+        kernel.run_until(ms(200))
+        status = supervisor.peers["bodynode"]
+        # Publication at t, arrival after one CAN tx + 1 ms forward + tx.
+        assert status.last_seen is not None
+        assert status.last_seen % ms(10) <= ms(2)

@@ -1,0 +1,129 @@
+"""Unit tests for the timed event queue."""
+
+import pytest
+
+from repro.kernel import EventQueue
+
+
+class TestScheduling:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert queue.next_time() is None
+        assert queue.pop_due(1_000_000) == []
+
+    def test_schedule_and_pop(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append("a"))
+        assert queue.next_time() == 10
+        due = queue.pop_due(10)
+        assert len(due) == 1
+        due[0].callback()
+        assert fired == ["a"]
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+
+    def test_pop_due_respects_time(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        assert len(queue.pop_due(15)) == 1
+        assert queue.next_time() == 20
+
+    def test_fifo_order_at_same_instant(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.schedule(5, lambda tag=tag: order.append(tag))
+        for event in queue.pop_due(5):
+            event.callback()
+        assert order == ["first", "second", "third"]
+
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.schedule(30, lambda: None, label="late")
+        queue.schedule(10, lambda: None, label="early")
+        due = queue.pop_due(100)
+        assert [e.label for e in due] == ["early", "late"]
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        e1 = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        assert len(queue) == 2
+        e1.cancel()
+        assert len(queue) == 1
+
+
+class TestCancellation:
+    def test_cancelled_event_not_returned(self):
+        queue = EventQueue()
+        event = queue.schedule(10, lambda: None)
+        event.cancel()
+        assert queue.pop_due(100) == []
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 0
+
+    def test_next_time_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        early.cancel()
+        assert queue.next_time() == 20
+
+    def test_clear_cancels_everything(self):
+        queue = EventQueue()
+        events = [queue.schedule(i, lambda: None) for i in range(1, 6)]
+        queue.clear()
+        assert len(queue) == 0
+        assert all(e.cancelled for e in events)
+        assert queue.pop_due(100) == []
+
+
+class TestPopNext:
+    def test_pop_next_single(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda: None, label="a")
+        queue.schedule(5, lambda: None, label="b")
+        first = queue.pop_next(5)
+        assert first.label == "a"
+        assert len(queue) == 1
+
+    def test_pop_next_none_when_future(self):
+        queue = EventQueue()
+        queue.schedule(50, lambda: None)
+        assert queue.pop_next(10) is None
+        assert len(queue) == 1
+
+    def test_pop_next_allows_mid_dispatch_cancellation(self):
+        """The reset-inside-a-callback property: events popped one at a
+        time can be cancelled by an earlier callback at the same time."""
+        queue = EventQueue()
+        fired = []
+        second = queue.schedule(5, lambda: fired.append("second"))
+        # first event scheduled later in FIFO but cancels `second`... the
+        # first-scheduled event fires first, so schedule canceller first.
+        queue = EventQueue()
+        fired = []
+
+        def canceller():
+            fired.append("canceller")
+            second.cancel()
+
+        e1 = queue.schedule(5, canceller)
+        second = queue.schedule(5, lambda: fired.append("second"))
+        while True:
+            event = queue.pop_next(5)
+            if event is None:
+                break
+            event.callback()
+        assert fired == ["canceller"]

@@ -1,0 +1,200 @@
+"""Tests for the application model, mapping and system builder."""
+
+import pytest
+
+from repro.kernel import Kernel, TraceKind, ms
+from repro.platform import (
+    Application,
+    MappingError,
+    RunnableSpec,
+    SoftwareComponent,
+    SystemBuilder,
+    TaskMapping,
+    TaskSpec,
+)
+
+from testutil import make_safespeed_mapping
+
+
+def two_app_mapping():
+    """Two applications; one shared task hosting runnables of both."""
+    a = Application("A")
+    swc_a = SoftwareComponent("SwcA")
+    swc_a.add(RunnableSpec("a1", wcet=ms(1)))
+    swc_a.add(RunnableSpec("a2", wcet=ms(1)))
+    a.add_component(swc_a)
+    b = Application("B")
+    swc_b = SoftwareComponent("SwcB")
+    swc_b.add(RunnableSpec("b1", wcet=ms(1)))
+    b.add_component(swc_b)
+    mapping = TaskMapping([a, b])
+    mapping.add_task(TaskSpec("Shared", priority=5, period=ms(10)))
+    mapping.map_sequence("Shared", ["a1", "b1", "a2"])
+    return mapping, a, b
+
+
+class TestModel:
+    def test_duplicate_runnable_in_swc(self):
+        swc = SoftwareComponent("S")
+        swc.add(RunnableSpec("r", wcet=1))
+        with pytest.raises(MappingError):
+            swc.add(RunnableSpec("r", wcet=1))
+
+    def test_duplicate_swc_in_app(self):
+        app = Application("A")
+        app.add_component(SoftwareComponent("S"))
+        with pytest.raises(MappingError):
+            app.add_component(SoftwareComponent("S"))
+
+    def test_runnable_names(self):
+        app = Application("A")
+        swc = SoftwareComponent("S")
+        swc.add(RunnableSpec("r1", wcet=1))
+        swc.add(RunnableSpec("r2", wcet=1))
+        app.add_component(swc)
+        assert app.runnable_names() == ["r1", "r2"]
+
+    def test_bad_task_period(self):
+        with pytest.raises(MappingError):
+            TaskSpec("T", priority=1, period=0)
+
+
+class TestMapping:
+    def test_duplicate_runnable_across_apps_rejected(self):
+        a = Application("A")
+        s1 = SoftwareComponent("S1")
+        s1.add(RunnableSpec("r", wcet=1))
+        a.add_component(s1)
+        b = Application("B")
+        s2 = SoftwareComponent("S2")
+        s2.add(RunnableSpec("r", wcet=1))
+        b.add_component(s2)
+        with pytest.raises(MappingError):
+            TaskMapping([a, b])
+
+    def test_map_unknown_runnable(self, safespeed_mapping):
+        with pytest.raises(MappingError):
+            safespeed_mapping.map_runnable("ghost", "SafeSpeedTask")
+
+    def test_map_to_unknown_task(self, safespeed_mapping):
+        mapping = make_safespeed_mapping()
+        with pytest.raises(MappingError):
+            mapping.map_runnable("GetSensorValue", "ghost")
+
+    def test_double_placement_rejected(self):
+        mapping = make_safespeed_mapping()
+        with pytest.raises(MappingError):
+            mapping.map_runnable("GetSensorValue", "SafeSpeedTask")
+
+    def test_task_of(self, safespeed_mapping):
+        assert safespeed_mapping.task_of("SAFE_CC_process") == "SafeSpeedTask"
+
+    def test_application_of(self, safespeed_mapping):
+        assert safespeed_mapping.application_of("Speed_process").name == "SafeSpeed"
+
+    def test_shared_task_applications(self):
+        mapping, a, b = two_app_mapping()
+        apps = mapping.applications_on_task("Shared")
+        assert {x.name for x in apps} == {"A", "B"}
+
+    def test_tasks_of_application(self):
+        mapping, a, b = two_app_mapping()
+        assert mapping.tasks_of_application(a) == ["Shared"]
+        assert mapping.tasks_of_application(b) == ["Shared"]
+
+    def test_validate_unplaced_runnable(self):
+        app = Application("A")
+        swc = SoftwareComponent("S")
+        swc.add(RunnableSpec("r1", wcet=1))
+        swc.add(RunnableSpec("r2", wcet=1))
+        app.add_component(swc)
+        mapping = TaskMapping([app])
+        mapping.add_task(TaskSpec("T", priority=1, period=ms(10)))
+        mapping.map_runnable("r1", "T")
+        with pytest.raises(MappingError):
+            mapping.validate()
+
+
+class TestSystemBuilder:
+    def test_build_creates_everything(self, safespeed_mapping):
+        kernel = Kernel()
+        builder = SystemBuilder(safespeed_mapping, watchdog_period=ms(10))
+        system = builder.build(kernel)
+        assert set(system.tasks) == {"SafeSpeedTask"}
+        assert len(system.runnables) == 3
+        assert "SafeSpeedTask" in system.charts
+        assert "SafeSpeedTaskAlarm" in system.alarms.alarms
+
+    def test_built_system_executes_sequence(self, safespeed_mapping):
+        kernel = Kernel()
+        system = SystemBuilder(safespeed_mapping, watchdog_period=ms(10)).build(kernel)
+        kernel.run_until(ms(50))
+        starts = [
+            r.subject
+            for r in kernel.trace.filter(kind=TraceKind.RUNNABLE_START, end=ms(15))
+        ]
+        assert starts == ["GetSensorValue", "SAFE_CC_process", "Speed_process"]
+
+    def test_hypothesis_derived_from_mapping(self, safespeed_mapping):
+        kernel = Kernel()
+        system = SystemBuilder(
+            safespeed_mapping, watchdog_period=ms(10), aliveness_margin=1.5
+        ).build(kernel)
+        hyp = system.hypothesis.runnables["GetSensorValue"]
+        # period 10ms / watchdog 10ms = 1 cycle; margin 1.5 -> ceil = 2.
+        assert hyp.aliveness_period == 2
+        assert hyp.min_heartbeats == 1
+        assert hyp.task == "SafeSpeedTask"
+
+    def test_flow_table_covers_sequence(self, safespeed_mapping):
+        kernel = Kernel()
+        system = SystemBuilder(safespeed_mapping, watchdog_period=ms(10)).build(kernel)
+        pairs = system.hypothesis.flow_pairs
+        assert (None, "GetSensorValue") in pairs
+        assert ("GetSensorValue", "SAFE_CC_process") in pairs
+        assert ("SAFE_CC_process", "Speed_process") in pairs
+
+    def test_non_critical_runnables_excluded_from_flow(self):
+        app = Application("A")
+        swc = SoftwareComponent("S")
+        swc.add(RunnableSpec("critical1", wcet=1))
+        swc.add(RunnableSpec("debug", wcet=1, safety_critical=False))
+        swc.add(RunnableSpec("critical2", wcet=1))
+        app.add_component(swc)
+        mapping = TaskMapping([app])
+        mapping.add_task(TaskSpec("T", priority=1, period=ms(10)))
+        mapping.map_sequence("T", ["critical1", "debug", "critical2"])
+        kernel = Kernel()
+        system = SystemBuilder(mapping, watchdog_period=ms(10)).build(kernel)
+        pairs = system.hypothesis.flow_pairs
+        # The non-critical runnable is bridged over in the flow table.
+        assert ("critical1", "critical2") in pairs
+        assert all("debug" not in (p or "", s) for p, s in pairs)
+        # ... but still heartbeat-monitored.
+        assert "debug" in system.hypothesis.runnables
+
+    def test_behaviour_wired_through(self):
+        hits = []
+        app = Application("A")
+        swc = SoftwareComponent("S")
+        swc.add(RunnableSpec("r", wcet=ms(1), behaviour=lambda rn, t: hits.append(1)))
+        app.add_component(swc)
+        mapping = TaskMapping([app])
+        mapping.add_task(TaskSpec("T", priority=1, period=ms(10)))
+        mapping.map_runnable("r", "T")
+        kernel = Kernel()
+        SystemBuilder(mapping, watchdog_period=ms(10)).build(kernel)
+        kernel.run_until(ms(25))
+        assert len(hits) == 2
+
+    def test_bad_watchdog_period(self, safespeed_mapping):
+        with pytest.raises(MappingError):
+            SystemBuilder(safespeed_mapping, watchdog_period=0)
+
+    def test_fast_task_arrival_bounds(self):
+        """A task faster than the watchdog period gets max_heartbeats > 1."""
+        mapping = make_safespeed_mapping(period=ms(5))
+        kernel = Kernel()
+        system = SystemBuilder(mapping, watchdog_period=ms(10)).build(kernel)
+        hyp = system.hypothesis.runnables["GetSensorValue"]
+        assert hyp.max_heartbeats >= 2

@@ -1,0 +1,116 @@
+"""Tests for the service framework and registry."""
+
+import pytest
+
+from repro.platform import DependabilityService, ServiceRegistry, ServiceState
+from repro.platform.services import ServiceError
+
+
+class Probe(DependabilityService):
+    def __init__(self, name="Probe"):
+        super().__init__(name)
+        self.started = 0
+        self.stopped = 0
+        self.provide_interface(f"{name.lower()}.ping", lambda: "pong")
+
+    def on_start(self):
+        self.started += 1
+
+    def on_stop(self):
+        self.stopped += 1
+
+
+class TestService:
+    def test_initial_state(self):
+        svc = Probe()
+        assert svc.state is ServiceState.REGISTERED
+
+    def test_start_stop_lifecycle(self):
+        svc = Probe()
+        svc.start()
+        assert svc.state is ServiceState.STARTED
+        svc.stop()
+        assert svc.state is ServiceState.STOPPED
+        assert (svc.started, svc.stopped) == (1, 1)
+
+    def test_start_idempotent(self):
+        svc = Probe()
+        svc.start()
+        svc.start()
+        assert svc.started == 1
+
+    def test_stop_before_start_noop(self):
+        svc = Probe()
+        svc.stop()
+        assert svc.stopped == 0
+
+    def test_interface_resolution(self):
+        svc = Probe()
+        assert svc.interface("probe.ping")() == "pong"
+
+    def test_unknown_interface(self):
+        svc = Probe()
+        with pytest.raises(ServiceError):
+            svc.interface("ghost")
+
+    def test_duplicate_interface_rejected(self):
+        svc = Probe()
+        with pytest.raises(ServiceError):
+            svc.provide_interface("probe.ping", lambda: None)
+
+    def test_interfaces_listing(self):
+        svc = Probe()
+        assert svc.interfaces() == ["probe.ping"]
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = ServiceRegistry()
+        svc = registry.register(Probe())
+        assert registry.service("Probe") is svc
+
+    def test_duplicate_service_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(Probe())
+        with pytest.raises(ServiceError):
+            registry.register(Probe())
+
+    def test_resolve_interface(self):
+        registry = ServiceRegistry()
+        registry.register(Probe())
+        assert registry.resolve("probe.ping")() == "pong"
+
+    def test_resolve_unknown(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ServiceError):
+            registry.resolve("ghost")
+
+    def test_provider_of(self):
+        registry = ServiceRegistry()
+        svc = registry.register(Probe())
+        assert registry.provider_of("probe.ping") is svc
+        assert registry.provider_of("ghost") is None
+
+    def test_interface_collision_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(Probe("Probe"))
+        clone = DependabilityService("Clone")
+        clone.provide_interface("probe.ping", lambda: None)
+        with pytest.raises(ServiceError):
+            registry.register(clone)
+
+    def test_start_all_stop_all(self):
+        registry = ServiceRegistry()
+        a = registry.register(Probe("A"))
+        b = registry.register(Probe("B"))
+        registry.start_all()
+        assert a.state is ServiceState.STARTED
+        assert b.state is ServiceState.STARTED
+        registry.stop_all()
+        assert a.state is ServiceState.STOPPED
+
+    def test_services_listing(self):
+        registry = ServiceRegistry()
+        registry.register(Probe("A"))
+        registry.register(Probe("B"))
+        assert [s.name for s in registry.services()] == ["A", "B"]

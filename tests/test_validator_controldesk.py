@@ -1,0 +1,141 @@
+"""Tests for the ControlDesk-style parameter store and capture."""
+
+import pytest
+
+from repro.kernel import Kernel, ms
+from repro.validator import Capture, ParameterStore
+
+
+class Holder:
+    def __init__(self):
+        self.value = 1.0
+        self.other = 5.0
+
+
+class TestParameterStore:
+    def test_register_and_set(self, kernel):
+        store = ParameterStore(kernel)
+        holder = Holder()
+        store.register_attribute("p", holder, "value")
+        store.set_now("p", 3.5)
+        assert holder.value == 3.5
+        assert store.get("p").value == 3.5
+
+    def test_duplicate_rejected(self, kernel):
+        store = ParameterStore(kernel)
+        holder = Holder()
+        store.register_attribute("p", holder, "value")
+        with pytest.raises(ValueError):
+            store.register_attribute("p", holder, "other")
+
+    def test_unknown_parameter(self, kernel):
+        store = ParameterStore(kernel)
+        with pytest.raises(KeyError):
+            store.get("ghost")
+
+    def test_set_at_scheduled_change(self, kernel):
+        store = ParameterStore(kernel)
+        holder = Holder()
+        store.register_attribute("p", holder, "value")
+        store.set_at(ms(10), "p", 9.0)
+        kernel.run_until(ms(5))
+        assert holder.value == 1.0
+        kernel.run_until(ms(15))
+        assert holder.value == 9.0
+
+    def test_set_at_unknown_fails_fast(self, kernel):
+        store = ParameterStore(kernel)
+        with pytest.raises(KeyError):
+            store.set_at(ms(10), "ghost", 1.0)
+
+    def test_change_log(self, kernel):
+        store = ParameterStore(kernel)
+        holder = Holder()
+        store.register_attribute("p", holder, "value")
+        store.set_now("p", 2.0)
+        store.set_at(ms(5), "p", 3.0)
+        kernel.run_until(ms(10))
+        assert store.change_log == [(0, "p", 2.0), (ms(5), "p", 3.0)]
+
+    def test_custom_getter_setter(self, kernel):
+        store = ParameterStore(kernel)
+        box = {"v": 0.0}
+        store.register("p", lambda: box["v"], lambda x: box.__setitem__("v", x))
+        store.set_now("p", 7.0)
+        assert box["v"] == 7.0
+
+    def test_parameters_listing(self, kernel):
+        store = ParameterStore(kernel)
+        holder = Holder()
+        store.register_attribute("a", holder, "value")
+        store.register_attribute("b", holder, "other")
+        assert [p.name for p in store.parameters()] == ["a", "b"]
+
+
+class TestCapture:
+    def test_periodic_sampling(self, kernel):
+        capture = Capture(kernel, sample_period=ms(10))
+        holder = Holder()
+        capture.add_attribute_probe("v", holder, "value")
+        capture.start()
+        kernel.run_until(ms(45))
+        series = capture.get("v")
+        assert series.times == [ms(10), ms(20), ms(30), ms(40)]
+        assert series.values == [1.0] * 4
+
+    def test_samples_track_changes(self, kernel):
+        capture = Capture(kernel, sample_period=ms(10))
+        holder = Holder()
+        capture.add_attribute_probe("v", holder, "value")
+        capture.start()
+        kernel.queue.schedule(ms(15), lambda: setattr(holder, "value", 8.0))
+        kernel.run_until(ms(30))
+        assert capture.get("v").values == [1.0, 8.0, 8.0]
+
+    def test_stop_halts_sampling(self, kernel):
+        capture = Capture(kernel, sample_period=ms(10))
+        holder = Holder()
+        capture.add_attribute_probe("v", holder, "value")
+        capture.start()
+        kernel.run_until(ms(25))
+        capture.stop()
+        kernel.run_until(ms(100))
+        assert len(capture.get("v").values) == 2
+
+    def test_duplicate_probe_rejected(self, kernel):
+        capture = Capture(kernel)
+        holder = Holder()
+        capture.add_attribute_probe("v", holder, "value")
+        with pytest.raises(ValueError):
+            capture.add_attribute_probe("v", holder, "other")
+
+    def test_bad_sample_period(self, kernel):
+        with pytest.raises(ValueError):
+            Capture(kernel, sample_period=0)
+
+    def test_series_helpers(self, kernel):
+        capture = Capture(kernel, sample_period=ms(10))
+        holder = Holder()
+        capture.add_attribute_probe("v", holder, "value")
+        capture.start()
+        kernel.queue.schedule(ms(15), lambda: setattr(holder, "value", 4.0))
+        kernel.run_until(ms(35))
+        series = capture.get("v")
+        assert series.max() == 4.0
+        assert series.final() == 4.0
+        assert series.at(ms(12)) == 1.0
+        assert series.at(ms(22)) == 4.0
+        assert series.at(0) is None
+
+    def test_as_dict(self, kernel):
+        capture = Capture(kernel, sample_period=ms(10))
+        holder = Holder()
+        capture.add_attribute_probe("v", holder, "value")
+        capture.start()
+        kernel.run_until(ms(20))
+        assert capture.as_dict() == {"v": [1.0, 1.0]}
+
+    def test_unknown_probe(self, kernel):
+        capture = Capture(kernel)
+        with pytest.raises(KeyError):
+            capture.get("ghost")

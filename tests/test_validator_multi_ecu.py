@@ -1,0 +1,119 @@
+"""Tests for the multi-ECU validator (distributed supervision rig)."""
+
+import pytest
+
+from repro.core import MonitorState
+from repro.faults import BlockedRunnableFault, FaultTarget
+from repro.kernel import ms, seconds
+from repro.validator import MultiEcuValidator
+
+
+@pytest.fixture
+def rig():
+    return MultiEcuValidator(["chassis", "body"])
+
+
+class TestHealthyOperation:
+    def test_both_nodes_publish(self, rig):
+        rig.run_for(seconds(1))
+        for name in ("chassis", "body"):
+            assert rig.nodes[name].publisher.published_count >= 99
+            assert rig.supervisor.peers[name].frames_received >= 98
+
+    def test_all_verdicts_ok(self, rig):
+        rig.run_for(seconds(1))
+        assert rig.node_state("chassis") is MonitorState.OK
+        assert rig.node_state("body") is MonitorState.OK
+        assert rig.supervisor.network_state() is MonitorState.OK
+        assert rig.node_aliveness_log == []
+
+    def test_no_sequence_gaps_on_clean_bus(self, rig):
+        rig.run_for(seconds(1))
+        assert rig.supervisor.peers["body"].sequence_gaps == 0
+
+    def test_local_watchdogs_clean(self, rig):
+        rig.run_for(seconds(1))
+        for node in rig.nodes.values():
+            assert node.ecu.watchdog.detection_count() == 0
+
+    def test_summary_structure(self, rig):
+        rig.run_for(ms(200))
+        summary = rig.summary()
+        assert set(summary["nodes"]) == {"chassis", "body"}
+        assert summary["network_state"] == "ok"
+
+
+class TestNodeCrash:
+    def test_crash_detected_by_supervisor(self, rig):
+        rig.run_for(seconds(1))
+        crash_time = rig.kernel.clock.now
+        rig.crash_node("body")
+        rig.run_for(ms(200))
+        errors = [e for e in rig.node_aliveness_log if e.node == "body"]
+        assert errors
+        # Detection within ~2 supervision windows (3 cycles x 10 ms).
+        assert errors[0].time - crash_time <= ms(70)
+        assert rig.node_state("body") is MonitorState.FAULTY
+
+    def test_healthy_peer_unaffected(self, rig):
+        rig.run_for(seconds(1))
+        rig.crash_node("body")
+        rig.run_for(ms(300))
+        assert rig.node_state("chassis") is MonitorState.OK
+        assert all(e.node == "body" for e in rig.node_aliveness_log)
+
+    def test_crashed_node_stops_publishing(self, rig):
+        rig.run_for(seconds(1))
+        rig.crash_node("body")
+        published = rig.nodes["body"].publisher.published_count
+        rig.run_for(ms(300))
+        assert rig.nodes["body"].publisher.published_count == published
+
+    def test_recovery_restores_ok(self, rig):
+        rig.run_for(seconds(1))
+        rig.crash_node("body")
+        rig.run_for(ms(200))
+        rig.recover_node("body")
+        rig.run_for(ms(200))
+        assert rig.node_state("body") is MonitorState.OK
+        assert rig.nodes["body"].publisher.published_count > 100
+
+
+class TestStatePropagation:
+    def test_degraded_node_state_mirrored_remotely(self, rig):
+        """A blocked runnable on 'body' degrades its self-reported state;
+        the supervisor mirrors it without node-aliveness alarms."""
+        rig.run_for(seconds(1))
+        body = rig.nodes["body"]
+        BlockedRunnableFault("body.process").inject(
+            FaultTarget(
+                kernel=rig.kernel,
+                runnables=dict(body.ecu.system.runnables),
+                charts=dict(body.ecu.system.charts),
+                alarms=body.ecu.alarms,
+            )
+        )
+        rig.run_for(ms(500))
+        assert rig.node_state("body") in (
+            MonitorState.SUSPICIOUS, MonitorState.FAULTY
+        )
+        # Alive: no node-aliveness errors, only state propagation.
+        assert rig.supervisor.peers["body"].node_aliveness_errors == 0
+        assert rig.supervisor.peers["body"].reported_errors["aliveness"] > 0
+
+    def test_remote_error_counts_track_local(self, rig):
+        rig.run_for(seconds(1))
+        body = rig.nodes["body"]
+        BlockedRunnableFault("body.process").inject(
+            FaultTarget(
+                kernel=rig.kernel,
+                runnables=dict(body.ecu.system.runnables),
+                charts=dict(body.ecu.system.charts),
+            )
+        )
+        rig.run_for(ms(500))
+        from repro.core import ErrorType
+
+        local = body.ecu.watchdog.detected[ErrorType.ALIVENESS]
+        remote = rig.supervisor.peers["body"].reported_errors["aliveness"]
+        assert abs(local - remote) <= 1  # one frame of staleness at most

@@ -1,0 +1,76 @@
+"""Tests for the scenario runner."""
+
+import pytest
+
+from repro.kernel import Kernel, ms
+from repro.validator import Scenario
+
+
+class BareRig:
+    """Minimal rig: just a kernel."""
+
+    def __init__(self):
+        self.kernel = Kernel()
+
+
+class TestScenario:
+    def test_steps_execute_at_times(self):
+        rig = BareRig()
+        hits = []
+        scenario = Scenario("s", duration=ms(100))
+        scenario.at(ms(10), lambda: hits.append(("a", rig.kernel.clock.now)))
+        scenario.at(ms(50), lambda: hits.append(("b", rig.kernel.clock.now)))
+        scenario.run(rig)
+        assert hits == [("a", ms(10)), ("b", ms(50))]
+
+    def test_steps_sorted_regardless_of_declaration_order(self):
+        rig = BareRig()
+        hits = []
+        scenario = Scenario("s", duration=ms(100))
+        scenario.at(ms(50), lambda: hits.append("late"))
+        scenario.at(ms(10), lambda: hits.append("early"))
+        scenario.run(rig)
+        assert hits == ["early", "late"]
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            Scenario("s", duration=0)
+
+    def test_step_outside_duration_rejected(self):
+        scenario = Scenario("s", duration=ms(10))
+        with pytest.raises(ValueError):
+            scenario.at(ms(20), lambda: None)
+
+    def test_chaining(self):
+        scenario = Scenario("s", duration=ms(10))
+        assert scenario.at(ms(1), lambda: None) is scenario
+
+    def test_observer_fills_observations(self):
+        rig = BareRig()
+        scenario = Scenario("s", duration=ms(10))
+        scenario.observe(lambda result: result.observations.update(answer=42))
+        result = scenario.run(rig)
+        assert result.observations["answer"] == 42
+        assert result.name == "s"
+        assert result.duration == ms(10)
+
+    def test_relative_to_current_time(self):
+        """Steps are relative to the rig's clock at run start."""
+        rig = BareRig()
+        rig.kernel.run_until(ms(500))
+        hits = []
+        scenario = Scenario("s", duration=ms(100))
+        scenario.at(ms(10), lambda: hits.append(rig.kernel.clock.now))
+        scenario.run(rig)
+        assert hits == [ms(510)]
+
+    def test_runs_against_hil_validator(self):
+        from repro.validator import HilValidator
+
+        rig = HilValidator()
+        hits = []
+        scenario = Scenario("hil", duration=ms(200))
+        scenario.at(ms(100), lambda: hits.append(rig.kernel.clock.now))
+        result = scenario.run(rig)
+        assert hits == [ms(100)]
+        assert result.capture is rig.capture
