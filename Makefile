@@ -1,0 +1,21 @@
+# Test tiers for the Software Watchdog reproduction.
+#
+#   make test         tier-1: the full unit/integration suite (the gate)
+#   make bench-smoke  tier-2: one fast iteration of each benchmark file,
+#                     so benchmark code cannot silently rot
+#   make bench        regenerate every table & figure (slow)
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test bench-smoke bench all
+
+test:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) benchmarks/ -m bench_smoke --benchmark-disable -q
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only
+
+all: test bench-smoke

@@ -7,4 +7,28 @@ use normal pytest-benchmark calibration.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
 regenerated tables and figures.
+
+Tier-2 smoke: the first test of every benchmark file is additionally
+marked ``bench_smoke``, so
+
+    pytest benchmarks/ -m bench_smoke --benchmark-disable -q
+
+runs one fast iteration per file — enough to catch benchmark code rot
+(import errors, renamed experiment APIs, broken assertions) without
+paying for calibration or full simulation sweeps.
 """
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark the first collected test of each benchmark module with
+    ``bench_smoke`` (the tier-2 rot check; see module docstring)."""
+    seen_modules = set()
+    for item in items:
+        module = getattr(item, "module", None)
+        name = getattr(module, "__name__", None)
+        if name is None or name in seen_modules:
+            continue
+        seen_modules.add(name)
+        item.add_marker(pytest.mark.bench_smoke)

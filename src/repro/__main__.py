@@ -62,6 +62,7 @@ def cmd_coverage(args: argparse.Namespace) -> None:
 def cmd_overhead(args: argparse.Namespace) -> None:
     from .analysis import format_table, projection_rows
     from .experiments import (
+        check_cycle_scaling_rows,
         flow_checking_rows,
         passive_vs_polling_rows,
         watchdog_cpu_rows,
@@ -73,6 +74,8 @@ def cmd_overhead(args: argparse.Namespace) -> None:
     print(format_table(watchdog_cpu_rows()))
     _print_header("E2 — passive heartbeats vs active polling")
     print(format_table(passive_vs_polling_rows()))
+    _print_header("E2 — check-cycle scaling: full scan vs expiry wheel")
+    print(format_table(check_cycle_scaling_rows()))
     _print_header("E2b — projection onto target MCUs (outlook: S12XF)")
     print(format_table(projection_rows()))
 

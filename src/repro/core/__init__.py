@@ -20,7 +20,7 @@ from .config_io import (
     hypothesis_to_dict,
     is_deployable,
 )
-from .counters import CounterHistory, RunnableCounters
+from .counters import CounterHistory, RunnableCounters, SlotCounterArrays
 from .distributed import (
     NodeAlivenessError,
     PeerStatus,
@@ -72,6 +72,7 @@ __all__ = [
     "RunnableCounters",
     "RunnableError",
     "RunnableHypothesis",
+    "SlotCounterArrays",
     "SoftwareWatchdog",
     "SupervisionReport",
     "TaskFaultEvent",

@@ -21,7 +21,7 @@ fault hypothesis expire or an error is detected in the last cycle."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -63,6 +63,70 @@ class RunnableCounters:
             "CCA": self.cca,
             "CCAR": self.ccar,
             "AS": int(self.active),
+        }
+
+
+class SlotCounterArrays:
+    """Flat, slot-indexed counter storage (struct-of-arrays layout).
+
+    The heartbeat monitoring unit interns runnable names to integer
+    slots at configuration time and keeps the per-runnable counters in
+    parallel flat lists indexed by slot.  This mirrors how the counter
+    block would be laid out on the embedded target (one contiguous
+    array per counter kind, for cache locality) and removes per-
+    heartbeat dict lookups from the hot path — ingress touches
+    ``ac[slot]`` / ``arc[slot]`` directly.
+
+    ``cca``/``ccar`` are only maintained by the legacy ``scan`` check
+    strategy; the ``wheel`` strategy derives them from its re-arm
+    bookkeeping (see :mod:`repro.core.heartbeat`).
+    """
+
+    __slots__ = ("ac", "arc", "cca", "ccar", "active")
+
+    def __init__(self) -> None:
+        self.ac: List[int] = []
+        self.arc: List[int] = []
+        self.cca: List[int] = []
+        self.ccar: List[int] = []
+        self.active: List[bool] = []
+
+    def add_slot(self, active: bool = True) -> int:
+        """Append one zeroed slot; returns its index."""
+        slot = len(self.ac)
+        self.ac.append(0)
+        self.arc.append(0)
+        self.cca.append(0)
+        self.ccar.append(0)
+        self.active.append(active)
+        return slot
+
+    def __len__(self) -> int:
+        return len(self.ac)
+
+    def reset_slot(self, slot: int) -> None:
+        """Zero every period counter of one slot (AS change, restart)."""
+        self.ac[slot] = 0
+        self.arc[slot] = 0
+        self.cca[slot] = 0
+        self.ccar[slot] = 0
+
+    def reset_all(self) -> None:
+        """Zero every period counter of every slot (watchdog restart)."""
+        for slot in range(len(self.ac)):
+            self.reset_slot(slot)
+
+    def snapshot(self, slot: int, *, cca: Optional[int] = None,
+                 ccar: Optional[int] = None) -> Dict[str, int]:
+        """Counter values of one slot in the classic AC/ARC/CCA/CCAR/AS
+        shape; callers that derive the cycle counters (the wheel
+        strategy) pass them explicitly."""
+        return {
+            "AC": self.ac[slot],
+            "ARC": self.arc[slot],
+            "CCA": self.cca[slot] if cca is None else cca,
+            "CCAR": self.ccar[slot] if ccar is None else ccar,
+            "AS": int(self.active[slot]),
         }
 
 

@@ -28,6 +28,29 @@ ErrorListener = Callable[[RunnableError], None]
 _GLOBAL_STREAM = "<global>"
 
 
+def stream_key(
+    task: Optional[str],
+    runnable: str,
+    task_attribution: Optional[Dict[str, str]],
+) -> str:
+    """The per-task stream a heartbeat belongs to.
+
+    Fallback chain: explicit task context on the heartbeat → configured
+    runnable→task attribution → the global stream.  Both the runtime
+    checker (:meth:`ProgramFlowCheckingUnit.observe`) and table mining
+    (:meth:`FlowTable.mine_from_trace`) MUST use this one function: a
+    table mined with a different stream keying than the checker replays
+    against can flag the very trace it was mined from.
+    """
+    if task:
+        return task
+    if task_attribution:
+        attributed = task_attribution.get(runnable)
+        if attributed:
+            return attributed
+    return _GLOBAL_STREAM
+
+
 class FlowTable:
     """The predecessor → successors look-up table."""
 
@@ -92,6 +115,7 @@ class FlowTable:
         trace,
         *,
         runnables: Optional[Set[str]] = None,
+        task_attribution: Optional[Dict[str, str]] = None,
     ) -> "FlowTable":
         """Learn the look-up table from an observed *healthy* run.
 
@@ -106,6 +130,14 @@ class FlowTable:
 
         ``runnables`` restricts mining to the safety-critical set; by
         default every heartbeating runnable is included.
+
+        ``task_attribution`` is the same runnable→task mapping the
+        runtime :class:`ProgramFlowCheckingUnit` will be configured
+        with.  Pass it whenever the checker has one: heartbeats recorded
+        *without* task context are then grouped into the stream the
+        checker will actually use (via :func:`stream_key`) instead of
+        the global stream, which keeps the mined-table-never-flags-its-
+        own-trace guarantee.
 
         This is a learning aid, not a safety argument: a mined table is
         only as complete as the scenarios the golden run exercised, so
@@ -122,9 +154,11 @@ class FlowTable:
                 name = record.subject
                 if runnables is not None and name not in runnables:
                     continue
-                task = record.info.get("task") or _GLOBAL_STREAM
-                table.allow(last.get(task), name)
-                last[task] = name
+                stream = stream_key(
+                    record.info.get("task"), name, task_attribution
+                )
+                table.allow(last.get(stream), name)
+                last[stream] = name
         return table
 
 
@@ -172,7 +206,7 @@ class ProgramFlowCheckingUnit:
         if not self.table.is_monitored(runnable):
             return None
         self.observation_count += 1
-        stream = task or self.task_attribution.get(runnable) or _GLOBAL_STREAM
+        stream = stream_key(task, runnable, self.task_attribution)
         previous = self._last.get(stream)
         self.lookup_operations += 1
         error: Optional[RunnableError] = None

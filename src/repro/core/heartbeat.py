@@ -16,17 +16,43 @@ Two fault types are detected:
 An optional *eager* arrival-rate mode flags the overflow on the very
 heartbeat that exceeds the bound instead of waiting for the period end;
 this is the ablation knob for the detection-latency experiment (E3).
+An eager detection resets only the Arrival Rate Counter — the period
+boundary (CCAR / the wheel deadline) is left untouched, so the arrival
+windows stay aligned to ``arrival_period`` exactly as configured.
+
+Check strategies
+----------------
+
+Runnable names are interned to integer slots at configuration time and
+the counters live in flat slot-indexed arrays
+(:class:`~repro.core.counters.SlotCounterArrays`).  Two strategies
+decide which slots a check cycle visits:
+
+* ``"wheel"`` (default) — an *expiry wheel*: each runnable's aliveness
+  and arrival-rate deadlines are bucketed by the absolute cycle index
+  at which they next expire.  A check cycle pops only the buckets that
+  are due, judges those slots, and re-arms them one period ahead.
+  Per-cycle cost is proportional to the number of *due* checks, not to
+  the number of monitored runnables.
+* ``"scan"`` — the original implementation: visit every active slot on
+  every cycle, increment CCA/CCAR, and check whichever period expired.
+  O(runnables) per cycle; kept as the behavioral reference (the two
+  strategies are differential-tested for bit-for-bit equal error
+  streams).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from .counters import RunnableCounters
+from .counters import SlotCounterArrays
 from .hypothesis import FaultHypothesis, RunnableHypothesis
 from .reports import ErrorType, RunnableError
 
 ErrorListener = Callable[[RunnableError], None]
+
+#: Sentinel deadline for a disarmed (deactivated) wheel entry.
+_DISARMED = -1
 
 
 class HeartbeatMonitoringUnit:
@@ -37,16 +63,48 @@ class HeartbeatMonitoringUnit:
         hypothesis: FaultHypothesis,
         *,
         eager_arrival_detection: bool = False,
+        strategy: str = "wheel",
     ) -> None:
+        if strategy not in ("wheel", "scan"):
+            raise ValueError(f"unknown check strategy {strategy!r} "
+                             "(expected 'wheel' or 'scan')")
         self.hypothesis = hypothesis
         self.eager_arrival_detection = eager_arrival_detection
-        self.counters: Dict[str, RunnableCounters] = {}
+        self.strategy = strategy
         self._listeners: List[ErrorListener] = []
         self.cycle_count = 0
         self.heartbeat_count = 0
         self.unknown_heartbeats = 0
-        for name, hyp in hypothesis.runnables.items():
-            self.counters[name] = RunnableCounters(active=hyp.active)
+        #: Cumulative number of slots examined by check cycles — the
+        #: instrumentation hook for the cycle-cost experiments: with the
+        #: scan strategy this grows by the number of active runnables
+        #: every cycle, with the wheel strategy only by the number of
+        #: *due* ones.
+        self.slots_visited = 0
+        #: Interned slot index per runnable name (configuration-time).
+        self.slot_of: Dict[str, int] = {}
+        #: Slot index → runnable name / hypothesis (flat, slot-ordered).
+        self.names: List[str] = []
+        self._hyps: List[RunnableHypothesis] = []
+        self.counters = SlotCounterArrays()
+        for name in hypothesis.slot_order():
+            hyp = hypothesis.runnables[name]
+            slot = self.counters.add_slot(active=hyp.active)
+            self.slot_of[name] = slot
+            self.names.append(name)
+            self._hyps.append(hyp)
+        # Wheel bookkeeping (maintained even under the scan strategy so
+        # the strategy could be flipped between cycles if ever needed;
+        # the cost is two ints per slot).
+        self._alive_base: List[int] = [0] * len(self.names)
+        self._arr_base: List[int] = [0] * len(self.names)
+        self._alive_due: List[int] = [_DISARMED] * len(self.names)
+        self._arr_due: List[int] = [_DISARMED] * len(self.names)
+        self._alive_wheel: Dict[int, List[int]] = {}
+        self._arr_wheel: Dict[int, List[int]] = {}
+        for slot in range(len(self.names)):
+            if self.counters.active[slot]:
+                self._arm_slot(slot)
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: ErrorListener) -> None:
@@ -58,15 +116,38 @@ class HeartbeatMonitoringUnit:
 
         Deactivating resets the counters so a later reactivation starts
         from a clean monitoring period.
+
+        Raises
+        ------
+        ValueError
+            If ``runnable`` is not part of the fault hypothesis.  Unlike
+            :meth:`heartbeat` — which tolerates unknown names because a
+            fault can corrupt the identifier a glue routine reports —
+            flipping AS is a deliberate configuration act, so a typo
+            here must fail loudly.
         """
-        counters = self._counters_for(runnable)
-        if counters.active != active:
-            counters.active = active
-            counters.reset_all()
+        slot = self.slot_of.get(runnable)
+        if slot is None:
+            known = ", ".join(sorted(self.slot_of))
+            raise ValueError(
+                f"cannot set activation status of unknown runnable "
+                f"{runnable!r}; known runnables: {known or '<none>'}"
+            )
+        if self.counters.active[slot] != active:
+            self.counters.active[slot] = active
+            self.counters.reset_slot(slot)
+            if active:
+                self._arm_slot(slot)
+            else:
+                self._disarm_slot(slot)
 
     def activation_status(self, runnable: str) -> bool:
         """Current AS value."""
-        return self._counters_for(runnable).active
+        return self.counters.active[self._slot_for(runnable)]
+
+    def slot_active(self, slot: int) -> bool:
+        """AS value of an interned slot (hot-path accessor)."""
+        return self.counters.active[slot]
 
     # ------------------------------------------------------------------
     def heartbeat(self, runnable: str, time: int, task: Optional[str] = None) -> None:
@@ -76,92 +157,216 @@ class HeartbeatMonitoringUnit:
         service would receive indications only from configured glue code,
         but fault injection can corrupt the reported identifier.
         """
-        counters = self.counters.get(runnable)
-        if counters is None:
+        slot = self.slot_of.get(runnable)
+        if slot is None:
             self.unknown_heartbeats += 1
             return
-        if not counters.active:
+        self.heartbeat_slot(slot, time, task)
+
+    def heartbeat_slot(self, slot: int, time: int, task: Optional[str] = None) -> None:
+        """Heartbeat ingress by interned slot id — the hot path.
+
+        Callers that already resolved the slot (the watchdog facade does
+        one dict lookup per indication) go straight to the flat counter
+        arrays.
+        """
+        counters = self.counters
+        if not counters.active[slot]:
             return
         self.heartbeat_count += 1
-        counters.record_heartbeat()
+        counters.ac[slot] += 1
+        counters.arc[slot] += 1
         if self.eager_arrival_detection:
-            hyp = self.hypothesis.runnables[runnable]
-            if counters.arc > hyp.max_heartbeats:
+            hyp = self._hyps[slot]
+            if counters.arc[slot] > hyp.max_heartbeats:
                 self._emit(
                     RunnableError(
                         time=time,
-                        runnable=runnable,
+                        runnable=self.names[slot],
                         task=task if task is not None else hyp.task,
                         error_type=ErrorType.ARRIVAL_RATE,
-                        details={"arc": counters.arc, "max": hyp.max_heartbeats,
+                        details={"arc": counters.arc[slot],
+                                 "max": hyp.max_heartbeats,
                                  "eager": True},
+                        runnable_id=slot,
                     )
                 )
-                counters.reset_arrival()
+                # Only ARC restarts: the arrival *window* (CCAR / the
+                # wheel deadline) keeps its configured boundary, so an
+                # eager detection does not silently lengthen subsequent
+                # windows.
+                counters.arc[slot] = 0
 
+    # ------------------------------------------------------------------
     def cycle(self, time: int) -> List[RunnableError]:
-        """One watchdog check cycle over all monitored runnables.
+        """One watchdog check cycle ("shortly before the next period
+        begins").
 
-        Advances CCA and CCAR; when a period expires the corresponding
-        bound is checked, errors are emitted, and the period counters are
-        reset (also on error, per the paper).
-        Returns the errors detected in this cycle.
+        When a period expires the corresponding bound is checked, errors
+        are emitted, and the period counters are reset (also on error,
+        per the paper).  Returns the errors detected in this cycle.
         """
         self.cycle_count += 1
-        errors: List[RunnableError] = []
-        for name, hyp in self.hypothesis.runnables.items():
-            counters = self.counters[name]
-            if not counters.active:
-                continue
-            counters.cca += 1
-            counters.ccar += 1
-            if counters.cca >= hyp.aliveness_period:
-                if counters.ac < hyp.min_heartbeats:
-                    errors.append(
-                        RunnableError(
-                            time=time,
-                            runnable=name,
-                            task=hyp.task,
-                            error_type=ErrorType.ALIVENESS,
-                            details={"ac": counters.ac, "min": hyp.min_heartbeats},
-                        )
-                    )
-                counters.reset_aliveness()
-            if counters.ccar >= hyp.arrival_period:
-                if counters.arc > hyp.max_heartbeats:
-                    errors.append(
-                        RunnableError(
-                            time=time,
-                            runnable=name,
-                            task=hyp.task,
-                            error_type=ErrorType.ARRIVAL_RATE,
-                            details={"arc": counters.arc, "max": hyp.max_heartbeats},
-                        )
-                    )
-                counters.reset_arrival()
+        if self.strategy == "scan":
+            errors = self._cycle_scan(time)
+        else:
+            errors = self._cycle_wheel(time)
         for error in errors:
             self._emit(error)
+        return errors
+
+    def _cycle_scan(self, time: int) -> List[RunnableError]:
+        """Reference implementation: visit every active slot."""
+        counters = self.counters
+        errors: List[RunnableError] = []
+        for slot, hyp in enumerate(self._hyps):
+            if not counters.active[slot]:
+                continue
+            self.slots_visited += 1
+            counters.cca[slot] += 1
+            counters.ccar[slot] += 1
+            if counters.cca[slot] >= hyp.aliveness_period:
+                if counters.ac[slot] < hyp.min_heartbeats:
+                    errors.append(self._aliveness_error(slot, hyp, time))
+                counters.ac[slot] = 0
+                counters.cca[slot] = 0
+            if counters.ccar[slot] >= hyp.arrival_period:
+                if counters.arc[slot] > hyp.max_heartbeats:
+                    errors.append(self._arrival_error(slot, hyp, time))
+                counters.arc[slot] = 0
+                counters.ccar[slot] = 0
+        return errors
+
+    def _cycle_wheel(self, time: int) -> List[RunnableError]:
+        """Expiry-wheel implementation: visit only the due buckets."""
+        now = self.cycle_count
+        alive_bucket = self._alive_wheel.pop(now, None)
+        arr_bucket = self._arr_wheel.pop(now, None)
+        if not alive_bucket and not arr_bucket:
+            return []
+        counters = self.counters
+        # A bucket entry is *stale* when the slot was deactivated or
+        # re-armed since it was pushed; the deadline arrays are the
+        # authority.  ``due`` maps slot → [aliveness_due, arrival_due]
+        # so a slot due for both is visited once, aliveness judged
+        # first — the same per-runnable order the scan produces.
+        due: Dict[int, List[bool]] = {}
+        if alive_bucket:
+            for slot in alive_bucket:
+                if counters.active[slot] and self._alive_due[slot] == now:
+                    due[slot] = [True, False]
+        if arr_bucket:
+            for slot in arr_bucket:
+                if counters.active[slot] and self._arr_due[slot] == now:
+                    due.setdefault(slot, [False, False])[1] = True
+        errors: List[RunnableError] = []
+        for slot in sorted(due):
+            aliveness_due, arrival_due = due[slot]
+            hyp = self._hyps[slot]
+            self.slots_visited += 1
+            if aliveness_due:
+                if counters.ac[slot] < hyp.min_heartbeats:
+                    errors.append(self._aliveness_error(slot, hyp, time))
+                counters.ac[slot] = 0
+                self._alive_base[slot] = now
+                deadline = now + hyp.aliveness_period
+                self._alive_due[slot] = deadline
+                self._alive_wheel.setdefault(deadline, []).append(slot)
+            if arrival_due:
+                if counters.arc[slot] > hyp.max_heartbeats:
+                    errors.append(self._arrival_error(slot, hyp, time))
+                counters.arc[slot] = 0
+                self._arr_base[slot] = now
+                deadline = now + hyp.arrival_period
+                self._arr_due[slot] = deadline
+                self._arr_wheel.setdefault(deadline, []).append(slot)
         return errors
 
     # ------------------------------------------------------------------
     def snapshot(self, runnable: str) -> Dict[str, int]:
         """Current counter values of one runnable (for capture/plots)."""
-        return self._counters_for(runnable).snapshot()
+        slot = self._slot_for(runnable)
+        if self.strategy == "scan":
+            return self.counters.snapshot(slot)
+        if not self.counters.active[slot]:
+            return self.counters.snapshot(slot, cca=0, ccar=0)
+        # The wheel does not tick CCA/CCAR; derive them from the cycle
+        # index at which the period was last (re-)armed.
+        return self.counters.snapshot(
+            slot,
+            cca=self.cycle_count - self._alive_base[slot],
+            ccar=self.cycle_count - self._arr_base[slot],
+        )
 
     def reset(self) -> None:
-        """Reset every counter and the cycle count (watchdog restart)."""
+        """Reset every counter and the cycle count (watchdog restart).
+
+        Activation statuses survive the reset, exactly like before: a
+        runnable deactivated by the FMF stays unmonitored until it is
+        explicitly reactivated.
+        """
         self.cycle_count = 0
         self.heartbeat_count = 0
         self.unknown_heartbeats = 0
-        for counters in self.counters.values():
-            counters.reset_all()
+        self.slots_visited = 0
+        self.counters.reset_all()
+        self._alive_wheel.clear()
+        self._arr_wheel.clear()
+        for slot in range(len(self.names)):
+            if self.counters.active[slot]:
+                self._arm_slot(slot)
+            else:
+                self._disarm_slot(slot)
 
     # ------------------------------------------------------------------
-    def _counters_for(self, runnable: str) -> RunnableCounters:
-        counters = self.counters.get(runnable)
-        if counters is None:
+    def _arm_slot(self, slot: int) -> None:
+        """Schedule both of a slot's deadlines one period from now."""
+        now = self.cycle_count
+        hyp = self._hyps[slot]
+        self._alive_base[slot] = now
+        self._arr_base[slot] = now
+        alive_deadline = now + hyp.aliveness_period
+        arr_deadline = now + hyp.arrival_period
+        self._alive_due[slot] = alive_deadline
+        self._arr_due[slot] = arr_deadline
+        self._alive_wheel.setdefault(alive_deadline, []).append(slot)
+        self._arr_wheel.setdefault(arr_deadline, []).append(slot)
+
+    def _disarm_slot(self, slot: int) -> None:
+        """Invalidate a slot's deadlines (stale wheel entries are
+        skipped when their bucket is popped)."""
+        self._alive_due[slot] = _DISARMED
+        self._arr_due[slot] = _DISARMED
+
+    def _aliveness_error(
+        self, slot: int, hyp: RunnableHypothesis, time: int
+    ) -> RunnableError:
+        return RunnableError(
+            time=time,
+            runnable=self.names[slot],
+            task=hyp.task,
+            error_type=ErrorType.ALIVENESS,
+            details={"ac": self.counters.ac[slot], "min": hyp.min_heartbeats},
+            runnable_id=slot,
+        )
+
+    def _arrival_error(
+        self, slot: int, hyp: RunnableHypothesis, time: int
+    ) -> RunnableError:
+        return RunnableError(
+            time=time,
+            runnable=self.names[slot],
+            task=hyp.task,
+            error_type=ErrorType.ARRIVAL_RATE,
+            details={"arc": self.counters.arc[slot], "max": hyp.max_heartbeats},
+            runnable_id=slot,
+        )
+
+    def _slot_for(self, runnable: str) -> int:
+        slot = self.slot_of.get(runnable)
+        if slot is None:
             raise KeyError(f"runnable {runnable!r} is not monitored")
-        return counters
+        return slot
 
     def _emit(self, error: RunnableError) -> None:
         for listener in self._listeners:

@@ -39,10 +39,15 @@ class TaskStateIndicationUnit:
         *,
         task_of_runnable: Optional[Dict[str, str]] = None,
         app_of_task: Optional[Dict[str, str]] = None,
+        task_of_slot: Optional[List[Optional[str]]] = None,
     ) -> None:
         self.thresholds = thresholds or ThresholdPolicy()
         #: runnable → hosting task (completed lazily from incoming errors).
         self.task_of_runnable: Dict[str, str] = dict(task_of_runnable or {})
+        #: interned slot id → hosting task, in the HBM unit's slot order;
+        #: lets :meth:`record_error` attribute an error that carries a
+        #: ``runnable_id`` without hashing the runnable name.
+        self.task_of_slot: List[Optional[str]] = list(task_of_slot or [])
         #: task → application (for application state derivation).
         self.app_of_task: Dict[str, str] = dict(app_of_task or {})
         #: task → runnable → error type → count  (the error indication vectors).
@@ -72,7 +77,14 @@ class TaskStateIndicationUnit:
         threshold; re-crossing while already faulty does not re-fire.
         """
         when = error.time if time is None else time
-        task = error.task or self.task_of_runnable.get(error.runnable) or "<unmapped>"
+        task = error.task
+        if task is None:
+            slot = error.runnable_id
+            if slot is not None and 0 <= slot < len(self.task_of_slot):
+                task = self.task_of_slot[slot]
+        if task is None:
+            task = self.task_of_runnable.get(error.runnable)
+        task = task or "<unmapped>"
         self.task_of_runnable.setdefault(error.runnable, task)
         vector = self.error_vectors.setdefault(task, {})
         per_type = vector.setdefault(error.runnable, {})

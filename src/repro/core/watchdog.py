@@ -43,6 +43,7 @@ class SoftwareWatchdog:
         name: str = "SoftwareWatchdog",
         eager_arrival_detection: bool = False,
         app_of_task: Optional[Dict[str, str]] = None,
+        check_strategy: str = "wheel",
     ) -> None:
         hypothesis.validate()
         self.name = name
@@ -51,7 +52,9 @@ class SoftwareWatchdog:
             r: h.task for r, h in hypothesis.runnables.items() if h.task is not None
         }
         self.hbm = HeartbeatMonitoringUnit(
-            hypothesis, eager_arrival_detection=eager_arrival_detection
+            hypothesis,
+            eager_arrival_detection=eager_arrival_detection,
+            strategy=check_strategy,
         )
         self.pfc = ProgramFlowCheckingUnit(
             FlowTable.from_hypothesis(hypothesis),
@@ -61,6 +64,7 @@ class SoftwareWatchdog:
             hypothesis.thresholds,
             task_of_runnable=task_of_runnable,
             app_of_task=app_of_task,
+            task_of_slot=[h.task for h in self.hbm._hyps],
         )
         self.hbm.add_listener(self._on_runnable_error)
         self.pfc.add_listener(self._on_runnable_error)
@@ -81,9 +85,27 @@ class SoftwareWatchdog:
     ) -> None:
         """Interface 1: application glue code reports an aliveness
         indication.  Feeds flow checking first (the execution-sequence
-        view), then the heartbeat counters."""
+        view), then the heartbeat counters.
+
+        One dict lookup interns the runnable name to its slot; the rest
+        of the path works on flat slot-indexed storage.  A runnable with
+        Activation Status ``False`` is invisible to *both* units: a
+        deliberately deactivated runnable (e.g. of a terminated
+        application) must neither raise PROGRAM_FLOW errors nor perturb
+        its task's stream predecessor.
+        """
+        hbm = self.hbm
+        slot = hbm.slot_of.get(runnable)
+        if slot is None:
+            # Corrupted identifier: count it, and let the PFC unit see
+            # it (unknown runnables are transparent to flow checking).
+            hbm.unknown_heartbeats += 1
+            self.pfc.observe(runnable, time, task)
+            return
+        if not hbm.slot_active(slot):
+            return
         self.pfc.observe(runnable, time, task)
-        self.hbm.heartbeat(runnable, time, task)
+        hbm.heartbeat_slot(slot, time, task)
 
     def add_fault_listener(self, listener: FaultListener) -> None:
         """Interface 2: subscribe to detected faults (the FMF hook)."""

@@ -27,6 +27,7 @@ from .figures import (
 from .jitter import JitterRow, run_alarm_release, run_jitter_ablation, run_schedule_table_release
 from .latency import run_latency_study
 from .overhead import (
+    check_cycle_scaling_rows,
     flow_checking_rows,
     passive_vs_polling_rows,
     watchdog_cpu_rows,
@@ -50,6 +51,7 @@ __all__ = [
     "ThresholdRow",
     "ToolchainReport",
     "build_coverage_system",
+    "check_cycle_scaling_rows",
     "flow_checking_rows",
     "functional_model",
     "map_onto_architecture",

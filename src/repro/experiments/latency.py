@@ -53,7 +53,7 @@ def _mapping() -> TaskMapping:
     return mapping
 
 
-def _system_factory(eager: bool):
+def _system_factory(eager: bool, check_strategy: str = "wheel"):
     def factory() -> CampaignSystem:
         ecu = Ecu(
             "central",
@@ -63,6 +63,7 @@ def _system_factory(eager: bool):
                                  max_app_restarts=10**6),
             fmf_auto_treatment=False,
             eager_arrival_detection=eager,
+            check_strategy=check_strategy,
         )
         return CampaignSystem(
             target=FaultTarget.from_ecu(ecu),
@@ -100,12 +101,20 @@ def run_latency_study(
     repetitions: int = 3,
     warmup: int = ms(300),
     observation: int = seconds(1),
+    check_strategy: str = "wheel",
 ) -> List[Dict[str, object]]:
-    """Latency per fault class × check-mode; one table row each."""
+    """Latency per fault class × check-mode; one table row each.
+
+    ``check_strategy`` selects the HBM cycle implementation ("wheel" or
+    "scan"); the two are differential-tested to emit identical errors,
+    so latency figures must not depend on it — running the study under
+    both is the end-to-end cross-check of that property.
+    """
     rows: List[Dict[str, object]] = []
     for eager in (False, True):
         campaign = Campaign(
-            _system_factory(eager), warmup=warmup, observation=observation
+            _system_factory(eager, check_strategy),
+            warmup=warmup, observation=observation
         )
         for label, channel, factory in _FAULTS:
             result: CampaignResult = campaign.execute([factory] * repetitions)
@@ -115,6 +124,7 @@ def run_latency_study(
             rows.append(
                 {
                     "fault": label,
+                    "strategy": check_strategy,
                     "check_mode": "eager-arrival" if eager else "period-end",
                     "detected": result.coverage(channel),
                     "mean_latency_ms": (

@@ -10,13 +10,20 @@ Quantifies the two design arguments of §3.2:
    a function of its period and per-cycle cost
    (:func:`watchdog_cpu_rows`), plus the passive-heartbeat vs
    active-polling bookkeeping comparison (:func:`passive_vs_polling_rows`).
+3. **Check-cycle scaling**: per-cycle cost of the HBM check itself —
+   the legacy full scan against the expiry-wheel strategy — as the
+   number of monitored-but-undue runnables grows
+   (:func:`check_cycle_scaling_rows`).
 """
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, List
 
 from ..analysis.overhead import compare_flow_checking, watchdog_cpu_share
+from ..core.heartbeat import HeartbeatMonitoringUnit
+from ..core.hypothesis import FaultHypothesis, RunnableHypothesis
 from ..kernel.clock import ms, seconds
 from ..platform.application import (
     Application,
@@ -90,6 +97,77 @@ def watchdog_cpu_rows(
                     ),
                     "utilization": ecu.kernel.utilization(),
                     "false_positives": ecu.watchdog.detection_count(),
+                }
+            )
+    return rows
+
+
+def _staggered_unit(
+    runnables: int, period: int, strategy: str
+) -> HeartbeatMonitoringUnit:
+    """An HBM unit with ``runnables`` healthy runnables whose monitoring
+    periods are phase-staggered so roughly ``runnables / period`` checks
+    fall due on every cycle (instead of all of them every ``period``
+    cycles)."""
+    hyp = FaultHypothesis()
+    for i in range(runnables):
+        hyp.add_runnable(
+            RunnableHypothesis(
+                f"R{i:05d}",
+                task=f"T{i % 8}",
+                aliveness_period=period,
+                min_heartbeats=0,  # healthy by construction: no errors
+                arrival_period=period,
+                max_heartbeats=1 << 30,
+            )
+        )
+    unit = HeartbeatMonitoringUnit(hyp, strategy=strategy)
+    # Spread the deadline phases: re-arming slot i at warm-up cycle
+    # i % period staggers expiries uniformly across the period.
+    for c in range(period):
+        for i in range(c, runnables, period):
+            unit.set_activation_status(unit.names[i], False)
+            unit.set_activation_status(unit.names[i], True)
+        unit.cycle(time=c)
+    return unit
+
+
+def check_cycle_scaling_rows(
+    *,
+    runnable_counts: List[int] = None,
+    period: int = 100,
+    cycles: int = 200,
+) -> List[Dict[str, object]]:
+    """Per-cycle HBM check cost: full scan vs expiry wheel.
+
+    Every configuration monitors ``n`` healthy runnables whose periods
+    expire phase-staggered, so about ``n / period`` checks are due per
+    cycle (1 % at the default ``period=100``).  The scan strategy visits
+    all ``n`` slots every cycle regardless; the wheel visits only the
+    due ones, so its per-cycle cost is independent of the undue
+    population.  ``visits_per_cycle`` is the deterministic operation
+    count, ``us_per_cycle`` the measured wall-clock cost.
+    """
+    runnable_counts = runnable_counts or [100, 1000]
+    rows: List[Dict[str, object]] = []
+    for n in runnable_counts:
+        for strategy in ("scan", "wheel"):
+            unit = _staggered_unit(n, period, strategy)
+            visits_before = unit.slots_visited
+            cycles_before = unit.cycle_count
+            start = _time.perf_counter()
+            for c in range(cycles):
+                unit.cycle(time=cycles_before + c)
+            elapsed = _time.perf_counter() - start
+            rows.append(
+                {
+                    "runnables": n,
+                    "strategy": strategy,
+                    "due_per_cycle": round(n / period, 2),
+                    "visits_per_cycle": round(
+                        (unit.slots_visited - visits_before) / cycles, 2
+                    ),
+                    "us_per_cycle": round(1e6 * elapsed / cycles, 2),
                 }
             )
     return rows

@@ -65,6 +65,7 @@ class Ecu:
         fmf_auto_treatment: bool = True,
         watchdog_name: str = "SoftwareWatchdog",
         eager_arrival_detection: bool = False,
+        check_strategy: str = "wheel",
         trace_capacity: Optional[int] = None,
         kernel: Optional[Kernel] = None,
     ) -> None:
@@ -96,6 +97,7 @@ class Ecu:
             name=watchdog_name,
             eager_arrival_detection=eager_arrival_detection,
             app_of_task=app_of_task,
+            check_strategy=check_strategy,
         )
         install_glue_on_all(self.watchdog, self.system.runnables.values())
         if watchdog_priority is None:

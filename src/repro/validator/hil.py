@@ -72,6 +72,7 @@ class HilValidator:
         initial_speed_kph: float = 0.0,
         driver_profile: Optional[Callable[[float], float]] = None,
         eager_arrival_detection: bool = False,
+        check_strategy: str = "wheel",
     ) -> None:
         self.kernel = Kernel()
         self.catalog = build_validator_catalog()
@@ -230,6 +231,7 @@ class HilValidator:
             fmf_policy=fmf_policy,
             fmf_auto_treatment=fmf_auto_treatment,
             eager_arrival_detection=eager_arrival_detection,
+            check_strategy=check_strategy,
         )
 
         # --- peripheral nodes -------------------------------------------

@@ -80,3 +80,73 @@ class TestMining:
 
         mined = FlowTable.mine_from_trace(Trace())
         assert mined.pair_count() == 0
+
+
+class TestStreamKeyUnification:
+    """Mining and runtime checking must agree on the stream a heartbeat
+    belongs to, for every fallback: explicit task context, configured
+    task attribution, and the global stream."""
+
+    ATTRIBUTION = {"A": "T1", "B": "T1", "X": "T2", "Y": "T2"}
+
+    def _taskless_trace(self):
+        """A healthy run whose heartbeats carry NO task context — two
+        tasks interleaving, distinguishable only via attribution."""
+        from repro.kernel import Trace
+        from repro.kernel.tracing import TraceKind
+
+        trace = Trace()
+        for base in (0, 100):
+            trace.record(base + 0, TraceKind.TASK_ACTIVATE, "T1")
+            trace.record(base + 1, TraceKind.TASK_ACTIVATE, "T2")
+            # interleaved under preemption: A X B Y
+            trace.record(base + 2, TraceKind.HEARTBEAT, "A")
+            trace.record(base + 3, TraceKind.HEARTBEAT, "X")
+            trace.record(base + 4, TraceKind.HEARTBEAT, "B")
+            trace.record(base + 5, TraceKind.HEARTBEAT, "Y")
+        return trace
+
+    def _replay(self, trace, pfc):
+        from repro.kernel.tracing import TraceKind
+
+        for record in trace:
+            if record.kind is TraceKind.TASK_ACTIVATE:
+                pfc.reset_stream(record.subject)
+            elif record.kind is TraceKind.HEARTBEAT:
+                pfc.observe(record.subject, record.time,
+                            record.info.get("task"))
+
+    def test_mine_then_replay_round_trip_with_attribution(self):
+        """A table mined from a healthy taskless trace — with the same
+        task attribution the checker uses — never flags a replay of
+        that trace."""
+        trace = self._taskless_trace()
+        mined = FlowTable.mine_from_trace(
+            trace, task_attribution=self.ATTRIBUTION
+        )
+        pfc = ProgramFlowCheckingUnit(mined,
+                                      task_attribution=self.ATTRIBUTION)
+        self._replay(trace, pfc)
+        assert pfc.violation_count == 0
+
+    def test_attribution_separates_interleaved_streams(self):
+        """With attribution the mined table learns the per-task
+        sequences, not the interleaving: A→X is NOT whitelisted."""
+        mined = FlowTable.mine_from_trace(
+            self._taskless_trace(), task_attribution=self.ATTRIBUTION
+        )
+        assert mined.is_allowed("A", "B")
+        assert mined.is_allowed("X", "Y")
+        assert not mined.is_allowed("A", "X")
+        assert not mined.is_allowed("B", "Y")
+
+    def test_mismatched_keying_was_the_bug(self):
+        """Documents the defect this fixes: mining into the global
+        stream while the checker attributes per task flags the very
+        trace the table was mined from."""
+        trace = self._taskless_trace()
+        mined = FlowTable.mine_from_trace(trace)  # no attribution: global
+        pfc = ProgramFlowCheckingUnit(mined,
+                                      task_attribution=self.ATTRIBUTION)
+        self._replay(trace, pfc)
+        assert pfc.violation_count > 0

@@ -112,6 +112,40 @@ class TestArrivalRate:
         unit.heartbeat("R", 2)  # error + reset
         assert unit.snapshot("R")["ARC"] == 0
 
+    def test_eager_detection_preserves_window_boundary(self):
+        """An eager detection resets only ARC: the arrival window still
+        ends ``arrival_period`` cycles after it began — a mid-period
+        overflow must not silently lengthen subsequent windows."""
+        unit, errors = make_unit(arrival_period=3, max_heartbeats=1, eager=True)
+        unit.cycle(1)  # CCAR=1
+        unit.heartbeat("R", 2)
+        unit.heartbeat("R", 3)  # ARC=2 > 1 -> eager error
+        assert len(errors) == 1
+        assert unit.snapshot("R")["CCAR"] == 1  # window untouched
+        unit.cycle(4)  # CCAR=2
+        unit.heartbeat("R", 5)
+        unit.cycle(6)  # CCAR=3 -> period end at the *configured* boundary
+        assert unit.snapshot("R")["CCAR"] == 0  # window closed on time
+        # ARC=1 <= max at the boundary: the eager reset already accounted
+        # for the overflow, no duplicate period-end error.
+        assert len(errors) == 1
+
+    def test_eager_window_not_stretched_across_periods(self):
+        """With the buggy behavior (eager reset zeroing CCAR mid-period)
+        repeated eager detections push the period boundary out forever;
+        fixed, the boundary stays where ``arrival_period`` put it."""
+        unit, errors = make_unit(arrival_period=2, max_heartbeats=1, eager=True)
+        unit.cycle(1)           # CCAR=1
+        unit.heartbeat("R", 2)
+        unit.heartbeat("R", 3)  # ARC=2 > 1 -> eager error @3
+        unit.heartbeat("R", 4)
+        unit.heartbeat("R", 5)  # ARC=2 > 1 -> eager error @5
+        unit.cycle(6)           # CCAR=2 -> the window closes ON TIME
+        assert [e.time for e in errors] == [3, 5]
+        # Buggy version: CCAR was zeroed at each eager reset, so after
+        # cycle(6) the snapshot would read CCAR=1 (boundary postponed).
+        assert unit.snapshot("R")["CCAR"] == 0
+
 
 class TestActivationStatus:
     def test_inactive_runnable_not_checked(self):
@@ -149,6 +183,26 @@ class TestActivationStatus:
         unit.set_activation_status("R", False)
         unit.heartbeat("R", 1)
         assert unit.heartbeat_count == 0
+
+    def test_set_activation_status_unknown_raises_value_error(self):
+        """Flipping AS of an unmonitored runnable is a configuration
+        error and must fail loudly, naming the known runnables —
+        unlike heartbeats, which tolerate corrupted identifiers."""
+        unit, _ = make_unit()
+        with pytest.raises(ValueError, match=r"'ghost'.*known runnables: R"):
+            unit.set_activation_status("ghost", True)
+
+    def test_unknown_heartbeat_tolerated_but_as_change_is_not(self):
+        """The two paths are deliberately asymmetric: heartbeat() counts
+        and ignores unknown names, set_activation_status() raises."""
+        unit, errors = make_unit()
+        unit.heartbeat("ghost", 1)  # tolerated
+        assert unit.unknown_heartbeats == 1
+        assert errors == []
+        with pytest.raises(ValueError):
+            unit.set_activation_status("ghost", False)
+        # the failed call must not have registered anything
+        assert "ghost" not in unit.slot_of
 
 
 class TestMisc:

@@ -77,6 +77,51 @@ class TestWiring:
         assert wd.application_state("App") is MonitorState.FAULTY
 
 
+class TestActivationStatusGating:
+    def test_deactivated_runnable_raises_no_flow_errors(self):
+        """A heartbeat from a runnable with AS=False must be invisible
+        to the PFC unit too: deactivation (e.g. of a terminated
+        application) must not raise PROGRAM_FLOW errors."""
+        wd = make_watchdog()
+        wd.set_activation_status("B", False)
+        wd.notify_task_start("T")
+        wd.heartbeat_indication("B", 1, task="T")  # would be illegal entry
+        assert wd.detected[ErrorType.PROGRAM_FLOW] == 0
+        assert wd.detection_count() == 0
+
+    def test_deactivated_runnable_does_not_perturb_stream(self):
+        """The deactivated runnable must not become the stream's
+        predecessor: the remaining active sequence stays legal."""
+        wd = make_watchdog()
+        wd.set_activation_status("C", False)
+        wd.notify_task_start("T")
+        wd.heartbeat_indication("A", 1, task="T")
+        wd.heartbeat_indication("B", 2, task="T")
+        wd.heartbeat_indication("C", 3, task="T")  # inactive: invisible
+        # Predecessor is still B; C's heartbeat did not advance the
+        # stream to an (inactive) state that would flag the next A.
+        assert wd.pfc._last["T"] == "B"
+        assert wd.detected[ErrorType.PROGRAM_FLOW] == 0
+
+    def test_reactivated_runnable_is_checked_again(self):
+        wd = make_watchdog()
+        wd.set_activation_status("B", False)
+        wd.set_activation_status("B", True)
+        wd.notify_task_start("T")
+        wd.heartbeat_indication("B", 1, task="T")  # illegal entry again
+        assert wd.detected[ErrorType.PROGRAM_FLOW] == 1
+
+    def test_unknown_runnable_still_counted(self):
+        wd = make_watchdog()
+        wd.heartbeat_indication("ghost", 1, task="T")
+        assert wd.hbm.unknown_heartbeats == 1
+
+    def test_set_activation_status_unknown_raises(self):
+        wd = make_watchdog()
+        with pytest.raises(ValueError, match="ghost"):
+            wd.set_activation_status("ghost", False)
+
+
 class TestCheckCycle:
     def test_aliveness_detection_via_cycles(self):
         wd = make_watchdog()

@@ -1,0 +1,147 @@
+"""Differential equivalence: expiry-wheel vs full-scan check cycles.
+
+The wheel strategy is an optimization, not a behavior change: over any
+heartbeat schedule — including activation-status flips, eager arrival
+detection, resets and initially-inactive runnables — it must emit a
+bit-for-bit identical error stream (type, runnable, interned id, time,
+details, order) and identical counter snapshots to the reference scan.
+
+The schedules here are randomized hypothesis-style loops with fixed
+seeds, so failures reproduce deterministically.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ErrorType, FaultHypothesis, RunnableHypothesis
+from repro.core.heartbeat import HeartbeatMonitoringUnit
+
+
+def _random_hypothesis(rng):
+    hyp = FaultHypothesis()
+    for i in range(rng.randint(1, 8)):
+        hyp.add_runnable(
+            RunnableHypothesis(
+                f"R{i}",
+                task=f"T{i % 3}",
+                aliveness_period=rng.randint(1, 6),
+                min_heartbeats=rng.randint(0, 3),
+                arrival_period=rng.randint(1, 6),
+                max_heartbeats=rng.randint(0, 4),
+                active=rng.random() > 0.2,
+            )
+        )
+    return hyp
+
+
+def _make_pair(hyp, eager):
+    scan = HeartbeatMonitoringUnit(hyp, strategy="scan",
+                                   eager_arrival_detection=eager)
+    wheel = HeartbeatMonitoringUnit(hyp, strategy="wheel",
+                                    eager_arrival_detection=eager)
+    scan_errors, wheel_errors = [], []
+    scan.add_listener(scan_errors.append)
+    wheel.add_listener(wheel_errors.append)
+    return scan, wheel, scan_errors, wheel_errors
+
+
+def _drive_both(seed, *, eager, cycles=120, with_resets=False):
+    """Feed one random schedule into both strategies, comparing
+    snapshots after every cycle and error streams at the end."""
+    rng = random.Random(seed)
+    hyp = _random_hypothesis(rng)
+    scan, wheel, scan_errors, wheel_errors = _make_pair(hyp, eager)
+    names = list(hyp.runnables)
+    for t in range(cycles):
+        for _ in range(rng.randint(0, 4)):
+            name = rng.choice(names)
+            scan.heartbeat(name, time=t)
+            wheel.heartbeat(name, time=t)
+        if rng.random() < 0.15:
+            name = rng.choice(names)
+            active = rng.random() < 0.5
+            scan.set_activation_status(name, active)
+            wheel.set_activation_status(name, active)
+        if rng.random() < 0.02:
+            ghost = f"ghost{rng.randint(0, 3)}"
+            scan.heartbeat(ghost, time=t)
+            wheel.heartbeat(ghost, time=t)
+        if with_resets and rng.random() < 0.03:
+            scan.reset()
+            wheel.reset()
+        scan_cycle_errors = scan.cycle(time=t)
+        wheel_cycle_errors = wheel.cycle(time=t)
+        assert wheel_cycle_errors == scan_cycle_errors, (seed, t)
+        for name in names:
+            assert wheel.snapshot(name) == scan.snapshot(name), (seed, t, name)
+    assert wheel_errors == scan_errors, seed
+    assert wheel.heartbeat_count == scan.heartbeat_count
+    assert wheel.unknown_heartbeats == scan.unknown_heartbeats
+    return scan, wheel, scan_errors
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_randomized_schedules_period_end(seed):
+    _drive_both(seed, eager=False)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_randomized_schedules_eager(seed):
+    _drive_both(seed, eager=True)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_schedules_with_resets(seed):
+    _drive_both(seed, eager=seed % 2 == 0, with_resets=True)
+
+
+def test_errors_carry_matching_interned_ids():
+    """Both strategies assign the same configuration-time slot ids and
+    attach them to every error they emit."""
+    _, wheel, errors = _drive_both(424242, eager=True)
+    assert errors, "schedule produced no errors; pick a different seed"
+    for error in errors:
+        assert error.runnable_id == wheel.slot_of[error.runnable]
+
+
+def test_wheel_visits_only_due_slots():
+    """The wheel's per-cycle work tracks due checks, not population:
+    with every period equal to p, only one cycle in p visits anything."""
+    hyp = FaultHypothesis()
+    for i in range(50):
+        hyp.add_runnable(
+            RunnableHypothesis(f"R{i}", aliveness_period=10, min_heartbeats=0,
+                               arrival_period=10, max_heartbeats=100)
+        )
+    wheel = HeartbeatMonitoringUnit(hyp, strategy="wheel")
+    scan = HeartbeatMonitoringUnit(hyp, strategy="scan")
+    for t in range(100):
+        wheel.cycle(t)
+        scan.cycle(t)
+    assert scan.slots_visited == 50 * 100
+    assert wheel.slots_visited == 50 * 10  # one visit per slot per period
+
+
+def test_error_order_matches_scan_slot_order():
+    """When several runnables fail in the same cycle the wheel reports
+    them in slot order, aliveness before arrival — the scan's order."""
+    hyp = FaultHypothesis()
+    for name in ("B_second", "A_first"):  # registration order != sorted
+        hyp.add_runnable(
+            RunnableHypothesis(name, aliveness_period=2, min_heartbeats=1,
+                               arrival_period=2, max_heartbeats=0)
+        )
+    scan, wheel, scan_errors, wheel_errors = _make_pair(hyp, eager=False)
+    for unit in (scan, wheel):
+        unit.heartbeat("B_second", 0)
+        unit.heartbeat("A_first", 0)
+        unit.cycle(1)
+        unit.cycle(2)
+    assert [
+        (e.runnable, e.error_type) for e in scan_errors
+    ] == [
+        ("B_second", ErrorType.ARRIVAL_RATE),
+        ("A_first", ErrorType.ARRIVAL_RATE),
+    ]
+    assert wheel_errors == scan_errors

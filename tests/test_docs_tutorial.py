@@ -106,7 +106,37 @@ class TestTutorialSections:
         assert not hw.expired
         assert hw.kick_count >= 195
 
-    def test_section_8_mcu_sizing(self):
+    def test_section_8_check_cycle_scaling(self):
+        """Both strategy spellings from the tutorial construct, and a
+        healthy run behaves identically under either."""
+        from repro.core import SoftwareWatchdog
+
+        hyp = FaultHypothesis()
+        hyp.add_runnable(RunnableHypothesis(
+            "ComputeForce", task="BrakeTask",
+            aliveness_period=2, min_heartbeats=1,
+            arrival_period=2, max_heartbeats=3,
+        ))
+        hyp.allow_sequence(["ComputeForce"])
+        wd = SoftwareWatchdog(hyp)
+        ref = SoftwareWatchdog(hyp, check_strategy="scan")
+        assert wd.hbm.strategy == "wheel"
+        assert ref.hbm.strategy == "scan"
+        for t in range(20):
+            for unit in (wd, ref):
+                unit.notify_task_start("BrakeTask")
+                unit.heartbeat_indication("ComputeForce", t, task="BrakeTask")
+                unit.check_cycle(t)
+        assert wd.detection_count() == ref.detection_count() == 0
+
+    def test_section_8_sharp_edges(self):
+        ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5))
+        ecu.watchdog.hbm.heartbeat("TypoRunnable", 0)  # tolerated
+        assert ecu.watchdog.hbm.unknown_heartbeats == 1
+        with pytest.raises(ValueError, match="TypoRunnable"):
+            ecu.watchdog.set_activation_status("TypoRunnable", False)
+
+    def test_section_9_mcu_sizing(self):
         load = project_cpu_load(S12XF, monitored_runnables=3,
                                 heartbeats_per_second=600,
                                 check_period_s=0.005)
