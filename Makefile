@@ -1,16 +1,22 @@
 # Test tiers for the Software Watchdog reproduction.
 #
 #   make test         tier-1: the full unit/integration suite (the gate)
+#   make lint         wdlint the shipped app hypotheses (fails on
+#                     error-severity diagnostics)
 #   make bench-smoke  tier-2: one fast iteration of each benchmark file,
 #                     so benchmark code cannot silently rot
 #   make bench        regenerate every table & figure (slow)
 
 PYTEST = PYTHONPATH=src python -m pytest
+REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test bench-smoke bench all
+.PHONY: test lint bench-smoke bench all
 
 test:
 	$(PYTEST) -x -q
+
+lint:
+	$(REPRO) lint safespeed safelane steer-by-wire
 
 bench-smoke:
 	$(PYTEST) benchmarks/ -m bench_smoke --benchmark-disable -q
@@ -18,4 +24,4 @@ bench-smoke:
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
-all: test bench-smoke
+all: test lint bench-smoke

@@ -13,7 +13,14 @@ Usage::
     python -m repro jitter             # E7 release-offset ablation
     python -m repro toolchain          # F3 pipeline + RTA cross-check
     python -m repro rig --seconds 10   # drive the HIL validator
+    python -m repro lint               # wdlint the shipped app hypotheses
+    python -m repro lint my.json --format json   # ... or your own files
     python -m repro all                # everything above
+
+The ``lint`` subcommand exits 0 when every hypothesis is free of
+error-severity diagnostics (warnings allowed unless ``--strict``), 1 on
+lint errors and 2 when a target cannot be loaded — wire it into CI
+(``make lint`` does).
 """
 
 from __future__ import annotations
@@ -152,7 +159,16 @@ def cmd_toolchain(args: argparse.Namespace) -> None:
     ]
     print(format_table(rows))
     print(f"utilization={report.utilization:.3f} "
-          f"schedulable={report.schedulable} bounds_hold={report.bounds_hold}")
+          f"schedulable={report.schedulable} bounds_hold={report.bounds_hold} "
+          f"lint_ok={report.lint_ok}")
+    for line in report.lint_diagnostics:
+        print(f"  lint: {line}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import run_lint
+
+    return run_lint(args.targets, fmt=args.format, strict=args.strict)
 
 
 def cmd_rig(args: argparse.Namespace) -> None:
@@ -216,6 +232,17 @@ def build_parser() -> argparse.ArgumentParser:
     rig.add_argument("--seconds", type=float, default=5.0)
     rig.set_defaults(func=cmd_rig)
 
+    lint = sub.add_parser(
+        "lint", help="wdlint: statically analyze fault hypotheses")
+    lint.add_argument(
+        "targets", nargs="*",
+        help="hypothesis JSON files and/or builtin app names "
+             "(safespeed, safelane, steer-by-wire); default: all builtins")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as errors (exit 1)")
+    lint.set_defaults(func=cmd_lint)
+
     sub.add_parser("all", help="run every experiment").set_defaults(func=cmd_all)
     return parser
 
@@ -223,8 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    result = args.func(args)
+    # Most commands print and return None; ``lint`` returns a CI-grade
+    # exit code.
+    return int(result or 0)
 
 
 if __name__ == "__main__":

@@ -65,8 +65,14 @@ def hypothesis_to_dict(hypothesis: FaultHypothesis) -> Dict[str, Any]:
     }
 
 
-def hypothesis_from_dict(data: Dict[str, Any]) -> FaultHypothesis:
-    """Rebuild a hypothesis from :func:`hypothesis_to_dict` output."""
+def hypothesis_from_dict(data: Dict[str, Any], *, validate: bool = True) -> FaultHypothesis:
+    """Rebuild a hypothesis from :func:`hypothesis_to_dict` output.
+
+    ``validate=False`` skips the final consistency check — used by the
+    wdlint CLI, which wants to load a *broken* hypothesis and report its
+    defects as structured diagnostics instead of dying on the first
+    inconsistency.
+    """
     version = data.get("version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported hypothesis format version: {version!r}")
@@ -82,7 +88,8 @@ def hypothesis_from_dict(data: Dict[str, Any]) -> FaultHypothesis:
         hypothesis.add_runnable(RunnableHypothesis(**entry))
     for pair in data["flow_pairs"]:
         hypothesis.allow_flow(pair["predecessor"], pair["successor"])
-    hypothesis.validate()
+    if validate:
+        hypothesis.validate()
     return hypothesis
 
 

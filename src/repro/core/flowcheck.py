@@ -17,7 +17,7 @@ point).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .hypothesis import FaultHypothesis
 from .reports import ErrorType, RunnableError
@@ -100,6 +100,19 @@ class FlowTable:
     def pair_count(self) -> int:
         """Number of whitelisted (predecessor, successor) pairs."""
         return sum(len(s) for s in self._successors.values())
+
+    def pairs(self) -> List[Tuple[Optional[str], str]]:
+        """Every whitelisted pair, entry points as ``(None, successor)``.
+
+        Deterministic order (insertion order of predecessors, successors
+        sorted) so review diffs and lint output are stable; this is the
+        hand-off format to :func:`repro.lint.lint_flow_pairs`.
+        """
+        return [
+            (pred, succ)
+            for pred, succs in self._successors.items()
+            for succ in sorted(succs)
+        ]
 
     @classmethod
     def from_hypothesis(cls, hypothesis: FaultHypothesis) -> "FlowTable":

@@ -84,11 +84,26 @@ class ThresholdPolicy:
     default: int = 3
     per_type: Dict[ErrorType, int] = field(default_factory=dict)
 
+    def validate(self) -> None:
+        """Reject non-positive thresholds at configuration time.
+
+        Runs from :meth:`FaultHypothesis.validate` (and therefore at
+        watchdog construction) so a bad policy fails before monitoring
+        starts — :meth:`threshold_for` sits in the per-error hot path and
+        must stay a plain lookup.
+        """
+        if self.default < 1:
+            raise HypothesisError(
+                f"default threshold must be >= 1, got {self.default}"
+            )
+        for error_type, value in self.per_type.items():
+            if value < 1:
+                raise HypothesisError(
+                    f"threshold for {error_type} must be >= 1, got {value}"
+                )
+
     def threshold_for(self, error_type: ErrorType) -> int:
-        value = self.per_type.get(error_type, self.default)
-        if value < 1:
-            raise HypothesisError(f"threshold for {error_type} must be >= 1")
-        return value
+        return self.per_type.get(error_type, self.default)
 
 
 @dataclass
@@ -147,7 +162,15 @@ class FaultHypothesis:
         return list(seen)
 
     def validate(self) -> None:
-        """Check cross-references (flow pairs must name known runnables)."""
+        """Check cross-references (flow pairs must name known runnables)
+        and the threshold policy.
+
+        This guards the hard *consistency* invariants only; the wdlint
+        analyzer (:func:`repro.lint.lint_hypothesis`) additionally finds
+        configurations that are consistent but defective (unreachable
+        runnables, contradictory bounds, schedule mismatches).
+        """
+        self.thresholds.validate()
         for pred, succ in self.flow_pairs:
             if pred is not None and pred not in self.runnables:
                 raise HypothesisError(f"flow predecessor {pred!r} is not monitored")

@@ -21,6 +21,7 @@ runnable's counter set.
 
 from __future__ import annotations
 
+import warnings as _warnings
 from typing import Callable, Dict, List, Optional
 
 from .counters import CounterHistory
@@ -44,8 +45,14 @@ class SoftwareWatchdog:
         eager_arrival_detection: bool = False,
         app_of_task: Optional[Dict[str, str]] = None,
         check_strategy: str = "wheel",
+        lint: str = "warn",
     ) -> None:
+        if lint not in ("error", "warn", "off"):
+            raise ValueError(f"unknown lint mode {lint!r} "
+                             "(expected 'error', 'warn' or 'off')")
         hypothesis.validate()
+        if lint != "off":
+            self._lint_hypothesis(hypothesis, mode=lint, source=name)
         self.name = name
         self.hypothesis = hypothesis
         task_of_runnable = {
@@ -76,6 +83,29 @@ class SoftwareWatchdog:
         self.check_cycle_count = 0
         self.history: Optional[CounterHistory] = None
         self._fault_listeners: List[FaultListener] = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lint_hypothesis(
+        hypothesis: FaultHypothesis, *, mode: str, source: str
+    ) -> None:
+        """Construction-time wdlint pass (the ``lint=`` knob).
+
+        ``"error"`` refuses to build a watchdog from a hypothesis with
+        error-severity diagnostics; ``"warn"`` (the default) surfaces
+        every diagnostic as a :class:`~repro.lint.LintWarning` and
+        proceeds.  Configuration-only analyses run here — the WD3xx
+        schedule cross-checks need the task mapping, which the service
+        facade deliberately does not know (lint deployments against it
+        via ``python -m repro lint`` or :func:`repro.lint.lint_hypothesis`).
+        """
+        from ..lint import LintError, LintWarning, lint_hypothesis
+
+        report = lint_hypothesis(hypothesis, source=source)
+        if mode == "error" and not report.ok:
+            raise LintError(report)
+        for diagnostic in report.diagnostics:
+            _warnings.warn(str(diagnostic), LintWarning, stacklevel=3)
 
     # ------------------------------------------------------------------
     # service interfaces (the two main interfaces of §4.4)

@@ -53,6 +53,10 @@ class ToolchainReport:
     runnable_count: int = 0
     task_count: int = 0
     hypothesis_size: int = 0
+    #: wdlint result over the auto-generated hypothesis (step 2.5): the
+    #: generated configuration must lint clean before it is built.
+    lint_ok: bool = True
+    lint_diagnostics: List[str] = field(default_factory=list)
 
 
 def functional_model() -> List[Application]:
@@ -104,6 +108,8 @@ def map_onto_architecture(applications: List[Application]) -> TaskMapping:
 
 def run_toolchain(*, horizon: int = seconds(2)) -> ToolchainReport:
     """Execute the complete pipeline and cross-validate RTA vs simulation."""
+    from ..lint import lint_hypothesis
+
     applications = functional_model()
     mapping = map_onto_architecture(applications)
 
@@ -114,8 +120,21 @@ def run_toolchain(*, horizon: int = seconds(2)) -> ToolchainReport:
         rta_bounds=response_time_analysis(timings),
     )
 
+    # Step 2.5: lint the auto-generated hypothesis against the mapping
+    # it was derived from — the EASIS tool chain rejects a configuration
+    # here, before any code generation.
+    builder = SystemBuilder(mapping, watchdog_period=ms(10))
+    lint_report = lint_hypothesis(
+        builder.derive_hypothesis(),
+        mapping=mapping,
+        watchdog_period=ms(10),
+        source="toolchain",
+    )
+    report.lint_ok = lint_report.ok
+    report.lint_diagnostics = [str(d) for d in lint_report.diagnostics]
+
     kernel = Kernel()
-    system = SystemBuilder(mapping, watchdog_period=ms(10)).build(kernel)
+    system = builder.build(kernel)
     report.runnable_count = len(system.runnables)
     report.task_count = len(system.tasks)
     report.hypothesis_size = len(system.hypothesis.runnables)

@@ -1,0 +1,143 @@
+"""The ``python -m repro lint`` driver.
+
+Targets are either paths to hypothesis JSON files (the
+:func:`~repro.core.config_io.hypothesis_to_dict` format) or the names of
+the shipped applications — ``safespeed``, ``safelane``,
+``steer-by-wire`` — whose hypotheses are regenerated from their task
+mappings exactly like the tool chain does, and cross-checked against
+those mappings (the WD3xx analyses need the schedule periods, which a
+serialized hypothesis alone does not carry).
+
+Exit codes (meaningful to CI):
+
+* ``0`` — every target linted clean of errors (warnings allowed unless
+  ``--strict``),
+* ``1`` — at least one error-severity diagnostic (or warning, with
+  ``--strict``),
+* ``2`` — a target could not be loaded at all (missing file, malformed
+  JSON, unknown builtin name).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from .analyzer import lint_hypothesis
+from .diagnostics import LintReport
+
+#: Builtin lintable application configurations: name → (task, priority,
+#: period in watchdog periods of 10 ms).  Mirrors the central-node
+#: mapping of the HIL validator rig.
+_WATCHDOG_PERIOD_MS = 10
+
+
+def _builtin_mapping(name: str):
+    from ..kernel.clock import ms
+    from ..platform.application import TaskMapping, TaskSpec
+
+    if name == "safespeed":
+        from ..apps.safespeed import RUNNABLE_SEQUENCE, SafeSpeedApp
+
+        app = SafeSpeedApp(lambda: (0.0, 130.0), lambda throttle, brake: None)
+        task, priority, period = "SafeSpeedTask", 5, ms(10)
+    elif name == "safelane":
+        from ..apps.safelane import RUNNABLE_SEQUENCE, SafeLaneApp
+
+        app = SafeLaneApp(lambda: (0.0, 0.0, 1.75), lambda active, side: None)
+        task, priority, period = "SafeLaneTask", 4, ms(20)
+    elif name == "steer-by-wire":
+        from ..apps.steer_by_wire import RUNNABLE_SEQUENCE, SteerByWireApp
+
+        app = SteerByWireApp(lambda: 0.0, lambda: 0.0, lambda angle: None)
+        task, priority, period = "SteeringTask", 8, ms(5)
+    else:
+        raise KeyError(name)
+    mapping = TaskMapping([app.build_application()])
+    mapping.add_task(TaskSpec(task, priority=priority, period=period))
+    mapping.map_sequence(task, list(RUNNABLE_SEQUENCE))
+    return mapping
+
+
+BUILTIN_TARGETS = ("safespeed", "safelane", "steer-by-wire")
+
+
+def lint_builtin(name: str) -> LintReport:
+    """Regenerate and lint one shipped application's hypothesis."""
+    from ..kernel.clock import ms
+    from ..platform.application import SystemBuilder
+
+    mapping = _builtin_mapping(name)
+    watchdog_period = ms(_WATCHDOG_PERIOD_MS)
+    hypothesis = SystemBuilder(
+        mapping, watchdog_period=watchdog_period
+    ).derive_hypothesis()
+    return lint_hypothesis(
+        hypothesis,
+        mapping=mapping,
+        watchdog_period=watchdog_period,
+        source=name,
+    )
+
+
+def lint_file(path: str) -> LintReport:
+    """Load a hypothesis JSON file and lint it (configuration-only: no
+    mapping is available for the WD3xx cross-checks)."""
+    from ..core.config_io import hypothesis_from_dict
+
+    data = json.loads(Path(path).read_text())
+    # validate=False: the linter itself reports what validate() would
+    # reject (dead transitions, bad thresholds) as structured
+    # diagnostics instead of dying on the first inconsistency.
+    hypothesis = hypothesis_from_dict(data, validate=False)
+    return lint_hypothesis(hypothesis, source=path)
+
+
+def run_lint(
+    targets: Optional[List[str]] = None,
+    *,
+    fmt: str = "text",
+    strict: bool = False,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Lint every target and render the reports; returns the exit code."""
+    targets = list(targets) if targets else list(BUILTIN_TARGETS)
+    reports: List[LintReport] = []
+    failures: List[Tuple[str, str]] = []
+    for target in targets:
+        try:
+            if target in BUILTIN_TARGETS:
+                reports.append(lint_builtin(target))
+            else:
+                reports.append(lint_file(target))
+        except (OSError, ValueError, KeyError) as exc:
+            failures.append((target, f"{type(exc).__name__}: {exc}"))
+
+    if fmt == "json":
+        payload = {
+            "ok": not failures and all(r.ok for r in reports),
+            "failures": [
+                {"target": target, "error": message}
+                for target, message in failures
+            ],
+            "reports": [r.to_dict() for r in reports],
+        }
+        emit(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            emit(report.render_text())
+        for target, message in failures:
+            emit(f"{target}: failed to load ({message})")
+        errors = sum(len(r.errors) for r in reports)
+        warnings = sum(len(r.warnings) for r in reports)
+        emit(f"wdlint: {len(reports)} hypothesis(es) linted, "
+             f"{errors} error(s), {warnings} warning(s)")
+
+    if failures:
+        return 2
+    if any(not r.ok for r in reports):
+        return 1
+    if strict and any(r.warnings for r in reports):
+        return 1
+    return 0

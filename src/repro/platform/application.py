@@ -260,13 +260,33 @@ class SystemBuilder:
         self.thresholds = thresholds or ThresholdPolicy()
 
     # ------------------------------------------------------------------
+    def derive_hypothesis(self) -> FaultHypothesis:
+        """The configuration half of the code-generation step: derive the
+        watchdog fault hypothesis from the mapping alone, without
+        instantiating kernel objects.
+
+        This is what design-time tooling consumes — ``python -m repro
+        lint`` regenerates the shipped applications' hypotheses through
+        this method to analyze them without building a simulator.
+        :meth:`build` produces the identical hypothesis.
+        """
+        hypothesis = FaultHypothesis(thresholds=self.thresholds)
+        for task_name, spec in self.mapping.task_specs.items():
+            sequence = self.mapping.placement[task_name]
+            if not sequence:
+                continue
+            self._extend_hypothesis(hypothesis, task_name, spec, sequence)
+        hypothesis.validate()
+        return hypothesis
+
+    # ------------------------------------------------------------------
     def build(self, kernel: Kernel, alarms: Optional[AlarmTable] = None) -> BuiltSystem:
         """Create tasks, runnables, charts, alarms and the hypothesis."""
         alarms = alarms or AlarmTable(kernel)
         runnables: Dict[str, Runnable] = {}
         tasks: Dict[str, Task] = {}
         charts: Dict[str, SequenceChart] = {}
-        hypothesis = FaultHypothesis(thresholds=self.thresholds)
+        hypothesis = self.derive_hypothesis()
 
         for task_name, spec in self.mapping.task_specs.items():
             sequence = self.mapping.placement[task_name]
@@ -295,9 +315,6 @@ class SystemBuilder:
             offset = max(1, spec.period // alarms.system_counter.ticks_per_increment)
             alarm.set_rel(offset, offset)
 
-            self._extend_hypothesis(hypothesis, task_name, spec, sequence)
-
-        hypothesis.validate()
         return BuiltSystem(
             kernel=kernel,
             alarms=alarms,

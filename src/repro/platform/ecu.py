@@ -66,6 +66,7 @@ class Ecu:
         watchdog_name: str = "SoftwareWatchdog",
         eager_arrival_detection: bool = False,
         check_strategy: str = "wheel",
+        lint: str = "warn",
         trace_capacity: Optional[int] = None,
         kernel: Optional[Kernel] = None,
     ) -> None:
@@ -98,6 +99,7 @@ class Ecu:
             eager_arrival_detection=eager_arrival_detection,
             app_of_task=app_of_task,
             check_strategy=check_strategy,
+            lint=lint,
         )
         install_glue_on_all(self.watchdog, self.system.runnables.values())
         if watchdog_priority is None:

@@ -73,6 +73,7 @@ class HilValidator:
         driver_profile: Optional[Callable[[float], float]] = None,
         eager_arrival_detection: bool = False,
         check_strategy: str = "wheel",
+        lint: str = "warn",
     ) -> None:
         self.kernel = Kernel()
         self.catalog = build_validator_catalog()
@@ -232,6 +233,7 @@ class HilValidator:
             fmf_auto_treatment=fmf_auto_treatment,
             eager_arrival_detection=eager_arrival_detection,
             check_strategy=check_strategy,
+            lint=lint,
         )
 
         # --- peripheral nodes -------------------------------------------

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -10,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for argv in (["figures"], ["coverage"], ["overhead"], ["latency"],
                      ["treatment"], ["reconfig"], ["distributed"], ["jitter"],
-                     ["toolchain"], ["rig"], ["all"]):
+                     ["toolchain"], ["rig"], ["lint"], ["all"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -42,9 +44,81 @@ class TestExecution:
         assert main(["toolchain"]) == 0
         out = capsys.readouterr().out
         assert "bounds_hold=True" in out
+        assert "lint_ok=True" in out
 
     def test_single_figure(self, capsys):
         assert main(["figures", "--which", "6"]) == 0
         out = capsys.readouterr().out
         assert "collaboration of fault detection units" in out
         assert "PFC_Result" in out
+
+
+class TestLintCommand:
+    def seeded_defect_file(self, tmp_path):
+        from repro.core import (
+            FaultHypothesis,
+            RunnableHypothesis,
+            hypothesis_to_dict,
+        )
+
+        hyp = FaultHypothesis()
+        hyp.add_runnable(RunnableHypothesis(
+            "A", task="T", aliveness_period=2, min_heartbeats=3,
+            arrival_period=2, max_heartbeats=2))
+        hyp.allow_sequence(["A"])
+        hyp.allow_flow("A", "ghost")
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(hypothesis_to_dict(hyp)))
+        return path
+
+    def test_lint_default_targets_text(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "safespeed: ok" in out
+        assert "safelane: ok" in out
+        assert "steer-by-wire: ok" in out
+        assert "0 error(s)" in out
+
+    def test_lint_json_mode(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["reports"]) == 3
+        assert all(r["ok"] for r in payload["reports"])
+
+    def test_lint_seeded_defect_file(self, capsys, tmp_path):
+        path = self.seeded_defect_file(tmp_path)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "WD201" in out  # contradictory bounds
+        assert "WD102" in out  # dead transition
+
+    def test_lint_seeded_defect_file_json(self, capsys, tmp_path):
+        path = self.seeded_defect_file(tmp_path)
+        assert main(["lint", "--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        codes = [d["code"] for r in payload["reports"]
+                 for d in r["diagnostics"]]
+        assert "WD201" in codes and "WD102" in codes
+
+    def test_lint_missing_file_exit_2(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.json")]) == 2
+        assert "nope.json" in capsys.readouterr().out
+
+    def test_lint_strict_promotes_warnings(self, capsys, tmp_path):
+        from repro.core import (
+            FaultHypothesis,
+            RunnableHypothesis,
+            hypothesis_to_dict,
+        )
+
+        hyp = FaultHypothesis()
+        hyp.add_runnable(RunnableHypothesis(
+            "A", task="T", min_heartbeats=0, max_heartbeats=2))
+        path = tmp_path / "warn.json"
+        path.write_text(json.dumps(hypothesis_to_dict(hyp)))
+        assert main(["lint", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", str(path)]) == 1
+        assert "WD202" in capsys.readouterr().out

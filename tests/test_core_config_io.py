@@ -72,6 +72,35 @@ class TestSerialization:
         restored = hypothesis_from_dict(hypothesis_to_dict(system.hypothesis))
         assert set(restored.runnables) == set(system.hypothesis.runnables)
 
+    def test_lossless_roundtrip_through_json(self):
+        """dump -> json -> load -> dump is the identity, including the
+        awkward corners: ``None``-predecessor entry pairs and
+        ``per_type`` dictionaries keyed by :class:`ErrorType`."""
+        original = sample_hypothesis()
+        original.thresholds.per_type[ErrorType.ALIVENESS] = 2
+        original.thresholds.per_type[ErrorType.ARRIVAL_RATE] = 5
+        first = hypothesis_to_dict(original)
+        # Entry points serialize with an explicit JSON null predecessor.
+        assert {"predecessor": None, "successor": "A"} in first["flow_pairs"]
+        # ErrorType keys serialize as their wire values, not enum reprs.
+        assert set(first["thresholds"]["per_type"]) == {
+            "program_flow", "aliveness", "arrival_rate"
+        }
+        restored = hypothesis_from_dict(json.loads(json.dumps(first)))
+        assert hypothesis_to_dict(restored) == first
+        assert (None, "A") in restored.flow_pairs
+        assert restored.thresholds.per_type[ErrorType.ARRIVAL_RATE] == 5
+
+    def test_load_without_validation(self):
+        """``validate=False`` admits defective configs so wdlint can
+        diagnose them instead of the loader rejecting them outright."""
+        data = hypothesis_to_dict(sample_hypothesis())
+        data["thresholds"]["default"] = 0
+        with pytest.raises(Exception):
+            hypothesis_from_dict(data)
+        loaded = hypothesis_from_dict(data, validate=False)
+        assert loaded.thresholds.default == 0
+
 
 class TestAnalysis:
     def test_generated_hypothesis_is_deployable(self, safespeed_mapping):

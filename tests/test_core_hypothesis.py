@@ -44,10 +44,19 @@ class TestThresholdPolicy:
         assert policy.threshold_for(ErrorType.PROGRAM_FLOW) == 3
         assert policy.threshold_for(ErrorType.ALIVENESS) == 5
 
-    def test_invalid_threshold_rejected(self):
+    def test_invalid_threshold_rejected_at_validation(self):
         policy = ThresholdPolicy(default=0)
         with pytest.raises(HypothesisError):
-            policy.threshold_for(ErrorType.ALIVENESS)
+            policy.validate()
+        with pytest.raises(HypothesisError):
+            ThresholdPolicy(per_type={ErrorType.ALIVENESS: 0}).validate()
+        # threshold_for is a pure hot-path lookup: no validation there.
+        assert policy.threshold_for(ErrorType.ALIVENESS) == 0
+
+    def test_hypothesis_validate_checks_thresholds(self):
+        hyp = FaultHypothesis(thresholds=ThresholdPolicy(default=0))
+        with pytest.raises(HypothesisError):
+            hyp.validate()
 
 
 class TestFaultHypothesis:

@@ -78,7 +78,43 @@ class TestTutorialSections:
         restored = hypothesis_from_dict(json.loads(path.read_text()))
         assert "ComputeForce" in restored.runnables
 
-    def test_section_6_fault_injection_proof(self):
+    def test_section_5_linting(self):
+        from repro.core import SoftwareWatchdog
+        from repro.lint import LintError, lint_hypothesis
+
+        mapping = brake_mapping()
+        hyp = FaultHypothesis()
+        hyp.add_runnable(RunnableHypothesis(
+            "ComputeForce", task="BrakeTask",
+            aliveness_period=2, min_heartbeats=1,
+            arrival_period=2, max_heartbeats=3,
+        ))
+        hyp.allow_sequence(["ComputeForce"])
+
+        report = lint_hypothesis(hyp, mapping=mapping, watchdog_period=ms(5))
+        assert report.ok
+        assert report.render_text().endswith(": ok")
+
+        wd = SoftwareWatchdog(hyp, lint="error")    # clean: constructs
+        assert wd.hypothesis is hyp
+
+        defective = FaultHypothesis()
+        defective.add_runnable(RunnableHypothesis(
+            "ComputeForce", task="BrakeTask",
+            aliveness_period=2, min_heartbeats=3,
+            arrival_period=2, max_heartbeats=2,
+        ))
+        defective.allow_sequence(["ComputeForce"])
+        with pytest.raises(LintError, match="WD201"):
+            SoftwareWatchdog(defective, lint="error")
+
+    def test_section_5_cli_lint(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint"]) == 0
+        assert "safespeed: ok" in capsys.readouterr().out
+
+    def test_section_7_fault_injection_proof(self):
         def system_factory():
             ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5),
                       fmf_policy=FmfPolicy(ecu_faulty_task_threshold=10**6,
@@ -97,7 +133,7 @@ class TestTutorialSections:
         )
         assert result.coverage("SoftwareWatchdog") == 1.0
 
-    def test_section_7_layered_hardware_stage(self):
+    def test_section_8_layered_hardware_stage(self):
         ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5))
         hw = HardwareWatchdog(ecu.kernel, timeout=ms(50))
         attach_hardware_watchdog_kick(ecu.binding, hw)
@@ -106,7 +142,7 @@ class TestTutorialSections:
         assert not hw.expired
         assert hw.kick_count >= 195
 
-    def test_section_8_check_cycle_scaling(self):
+    def test_section_9_check_cycle_scaling(self):
         """Both strategy spellings from the tutorial construct, and a
         healthy run behaves identically under either."""
         from repro.core import SoftwareWatchdog
@@ -129,14 +165,14 @@ class TestTutorialSections:
                 unit.check_cycle(t)
         assert wd.detection_count() == ref.detection_count() == 0
 
-    def test_section_8_sharp_edges(self):
+    def test_section_9_sharp_edges(self):
         ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5))
         ecu.watchdog.hbm.heartbeat("TypoRunnable", 0)  # tolerated
         assert ecu.watchdog.hbm.unknown_heartbeats == 1
         with pytest.raises(ValueError, match="TypoRunnable"):
             ecu.watchdog.set_activation_status("TypoRunnable", False)
 
-    def test_section_9_mcu_sizing(self):
+    def test_section_10_mcu_sizing(self):
         load = project_cpu_load(S12XF, monitored_runnables=3,
                                 heartbeats_per_second=600,
                                 check_period_s=0.005)
