@@ -5,6 +5,7 @@ Usage::
     python -m repro figures            # Figures 5, 5b, 5c, 6
     python -m repro figures --which 6
     python -m repro coverage           # E1 coverage matrix
+    python -m repro coverage --workers 4   # ... across 4 processes
     python -m repro overhead           # E2 tables (+ S12XF projection)
     python -m repro latency            # E3 latency table
     python -m repro treatment          # E4 sweeps
@@ -54,6 +55,10 @@ def cmd_figures(args: argparse.Namespace) -> None:
         print("measured:", dict(result.measurements))
 
 
+def _progress(done: int, total: int) -> None:
+    print(f"  ... {done}/{total} runs", file=sys.stderr)
+
+
 def cmd_coverage(args: argparse.Namespace) -> None:
     from .analysis import coverage_report
     from .experiments import run_coverage_campaign
@@ -61,7 +66,10 @@ def cmd_coverage(args: argparse.Namespace) -> None:
 
     _print_header("E1 — fault detection coverage")
     result = run_coverage_campaign(
-        observation=seconds(args.observation), repetitions=args.repetitions
+        observation=seconds(args.observation),
+        repetitions=args.repetitions,
+        workers=args.workers,
+        progress=_progress if args.workers != 1 else None,
     )
     print(coverage_report(result))
 
@@ -69,6 +77,7 @@ def cmd_coverage(args: argparse.Namespace) -> None:
 def cmd_overhead(args: argparse.Namespace) -> None:
     from .analysis import format_table, projection_rows
     from .experiments import (
+        campaign_scaling_rows,
         check_cycle_scaling_rows,
         flow_checking_rows,
         passive_vs_polling_rows,
@@ -83,6 +92,8 @@ def cmd_overhead(args: argparse.Namespace) -> None:
     print(format_table(passive_vs_polling_rows()))
     _print_header("E2 — check-cycle scaling: full scan vs expiry wheel")
     print(format_table(check_cycle_scaling_rows()))
+    _print_header("E2 — campaign scaling: serial vs worker processes")
+    print(format_table(campaign_scaling_rows()))
     _print_header("E2b — projection onto target MCUs (outlook: S12XF)")
     print(format_table(projection_rows()))
 
@@ -92,7 +103,9 @@ def cmd_latency(args: argparse.Namespace) -> None:
     from .experiments import run_latency_study
 
     _print_header("E3 — detection latency (period-end vs eager-arrival)")
-    print(format_table(run_latency_study(repetitions=args.repetitions)))
+    print(format_table(run_latency_study(
+        repetitions=args.repetitions, workers=args.workers
+    )))
 
 
 def cmd_treatment(args: argparse.Namespace) -> None:
@@ -183,11 +196,13 @@ def cmd_rig(args: argparse.Namespace) -> None:
 
 
 def cmd_all(args: argparse.Namespace) -> None:
+    workers = getattr(args, "workers", 1)
     for command in (cmd_figures, cmd_coverage, cmd_overhead, cmd_latency,
                     cmd_treatment, cmd_reconfig, cmd_distributed, cmd_jitter,
                     cmd_toolchain):
         defaults = argparse.Namespace(
-            which="all", observation=2.0, repetitions=1, seconds=5.0
+            which="all", observation=2.0, repetitions=1, seconds=5.0,
+            workers=workers,
         )
         command(defaults)
 
@@ -204,10 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
                          default="all")
     figures.set_defaults(func=cmd_figures)
 
+    workers_help = ("worker processes for campaign runs "
+                    "(1 = serial, 0 = os.cpu_count())")
+
     coverage = sub.add_parser("coverage", help="E1 coverage matrix")
     coverage.add_argument("--observation", type=float, default=2.0,
                           help="observation window per injection (s)")
     coverage.add_argument("--repetitions", type=int, default=1)
+    coverage.add_argument("--workers", type=int, default=1, help=workers_help)
     coverage.set_defaults(func=cmd_coverage)
 
     sub.add_parser("overhead", help="E2 overhead tables").set_defaults(
@@ -215,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     latency = sub.add_parser("latency", help="E3 latency table")
     latency.add_argument("--repetitions", type=int, default=3)
+    latency.add_argument("--workers", type=int, default=1, help=workers_help)
     latency.set_defaults(func=cmd_latency)
 
     sub.add_parser("treatment", help="E4 treatment sweeps").set_defaults(
@@ -243,7 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="treat warnings as errors (exit 1)")
     lint.set_defaults(func=cmd_lint)
 
-    sub.add_parser("all", help="run every experiment").set_defaults(func=cmd_all)
+    all_cmd = sub.add_parser("all", help="run every experiment")
+    all_cmd.add_argument("--workers", type=int, default=1, help=workers_help)
+    all_cmd.set_defaults(func=cmd_all)
     return parser
 
 

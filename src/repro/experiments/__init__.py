@@ -11,6 +11,7 @@ from .coverage import (
     build_coverage_system,
     run_coverage_campaign,
     standard_fault_factories,
+    standard_fault_specs,
 )
 from .distributed_exp import (
     DistributedReport,
@@ -26,7 +27,9 @@ from .figures import (
 )
 from .jitter import JitterRow, run_alarm_release, run_jitter_ablation, run_schedule_table_release
 from .latency import run_latency_study
+from .latency import build_latency_system
 from .overhead import (
+    campaign_scaling_rows,
     check_cycle_scaling_rows,
     flow_checking_rows,
     passive_vs_polling_rows,
@@ -51,6 +54,8 @@ __all__ = [
     "ThresholdRow",
     "ToolchainReport",
     "build_coverage_system",
+    "build_latency_system",
+    "campaign_scaling_rows",
     "check_cycle_scaling_rows",
     "flow_checking_rows",
     "functional_model",
@@ -73,6 +78,7 @@ __all__ = [
     "run_threshold_sweep",
     "run_toolchain",
     "standard_fault_factories",
+    "standard_fault_specs",
     "treatment_summary_rows",
     "watchdog_cpu_rows",
 ]

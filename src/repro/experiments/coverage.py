@@ -27,8 +27,10 @@ from ..faults.campaigns import (
     CampaignSystem,
     DetectionRecorder,
     FaultFactory,
+    ProgressCallback,
     watchdog_detector,
 )
+from ..faults.registry import FaultSpec, register_fault, register_system
 from ..faults.models import (
     BlockedRunnableFault,
     FaultModel,
@@ -78,6 +80,7 @@ def _safespeed_mapping() -> TaskMapping:
     return mapping
 
 
+@register_system("coverage")
 def build_coverage_system() -> CampaignSystem:
     """One fresh system with all four monitors attached."""
     ecu = Ecu(
@@ -138,19 +141,34 @@ class _RunawayFault(FaultModel):
         target.kernel.force_terminate("Runaway")
 
 
-def standard_fault_factories(repetitions: int = 1) -> List[FaultFactory]:
-    """The campaign's fault list: one factory per (class, variant)."""
-    base: List[FaultFactory] = [
-        lambda s: BlockedRunnableFault("SAFE_CC_process"),
-        lambda s: BlockedRunnableFault("GetSensorValue"),
-        lambda s: TimeScalarFault("SafeSpeedTask", scalar=4.0),
-        lambda s: LoopCountFault("GetSensorValue", repeat=4),
-        lambda s: SkipRunnableFault("SafeSpeedTask", "SAFE_CC_process"),
-        lambda s: InvalidBranchFault("SafeSpeedTask", 1, "Speed_process"),
-        lambda s: HeartbeatCorruptionFault("SAFE_CC_process", "Speed_process"),
-        lambda s: _RunawayFault(),
+register_fault("runaway", lambda system: _RunawayFault())
+
+
+def standard_fault_specs(repetitions: int = 1) -> List[FaultSpec]:
+    """The campaign's fault list: one picklable spec per (class, variant).
+
+    Specs are callable with the ``FaultFactory`` signature, so the list
+    works on the serial path unchanged — and is what lets
+    ``workers=N`` ship the very same campaign to worker processes.
+    """
+    base = [
+        FaultSpec.of("blocked", runnable="SAFE_CC_process"),
+        FaultSpec.of("blocked", runnable="GetSensorValue"),
+        FaultSpec.of("time_scalar", task="SafeSpeedTask", scalar=4.0),
+        FaultSpec.of("loop_count", runnable="GetSensorValue", repeat=4),
+        FaultSpec.of("skip", chart="SafeSpeedTask", skipped="SAFE_CC_process"),
+        FaultSpec.of("invalid_branch", chart="SafeSpeedTask", at_step=1,
+                     branch_to="Speed_process"),
+        FaultSpec.of("hb_corrupt", runnable="SAFE_CC_process",
+                     reported_as="Speed_process"),
+        FaultSpec.of("runaway"),
     ]
     return base * repetitions
+
+
+def standard_fault_factories(repetitions: int = 1) -> List[FaultFactory]:
+    """Backwards-compatible alias for :func:`standard_fault_specs`."""
+    return list(standard_fault_specs(repetitions))
 
 
 def run_coverage_campaign(
@@ -158,8 +176,23 @@ def run_coverage_campaign(
     warmup: int = ms(300),
     observation: int = seconds(2),
     repetitions: int = 1,
-    system_factory: Callable[[], CampaignSystem] = build_coverage_system,
+    system_factory: Optional[Callable[[], CampaignSystem]] = None,
+    workers: int = 1,
+    progress: Optional[ProgressCallback] = None,
 ) -> CampaignResult:
-    """Execute the E1 campaign and return the aggregated result."""
-    campaign = Campaign(system_factory, warmup=warmup, observation=observation)
-    return campaign.execute(standard_fault_factories(repetitions))
+    """Execute the E1 campaign and return the aggregated result.
+
+    ``workers=N`` fans the injections out over N processes (``0`` =
+    ``os.cpu_count()``); results are bit-for-bit identical to the
+    serial run.  A custom ``system_factory`` callable forces the serial
+    path — pass a registered :class:`SystemSpec` name instead to keep
+    parallel execution available.
+    """
+    campaign = Campaign(
+        system_factory if system_factory is not None else "coverage",
+        warmup=warmup,
+        observation=observation,
+    )
+    return campaign.execute(
+        standard_fault_specs(repetitions), workers=workers, progress=progress
+    )

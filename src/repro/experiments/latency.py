@@ -19,13 +19,8 @@ from typing import Dict, List, Optional
 from ..analysis.metrics import LatencyStats
 from ..core.reports import ErrorType
 from ..faults.campaigns import Campaign, CampaignResult, CampaignSystem, watchdog_detector
-from ..faults.models import (
-    BlockedRunnableFault,
-    FaultTarget,
-    InvalidBranchFault,
-    LoopCountFault,
-    TimeScalarFault,
-)
+from ..faults.models import FaultTarget
+from ..faults.registry import FaultSpec, SystemSpec, register_system
 from ..kernel.clock import ms, seconds
 from ..platform.application import (
     Application,
@@ -53,46 +48,48 @@ def _mapping() -> TaskMapping:
     return mapping
 
 
-def _system_factory(eager: bool, check_strategy: str = "wheel"):
-    def factory() -> CampaignSystem:
-        ecu = Ecu(
-            "central",
-            _mapping(),
-            watchdog_period=ms(10),
-            fmf_policy=FmfPolicy(ecu_faulty_task_threshold=10**6,
-                                 max_app_restarts=10**6),
-            fmf_auto_treatment=False,
-            eager_arrival_detection=eager,
-            check_strategy=check_strategy,
-        )
-        return CampaignSystem(
-            target=FaultTarget.from_ecu(ecu),
-            detectors=[
-                watchdog_detector(ecu.watchdog),
-                watchdog_detector(ecu.watchdog, "SW:aliveness",
-                                  ErrorType.ALIVENESS),
-                watchdog_detector(ecu.watchdog, "SW:arrival_rate",
-                                  ErrorType.ARRIVAL_RATE),
-                watchdog_detector(ecu.watchdog, "SW:program_flow",
-                                  ErrorType.PROGRAM_FLOW),
-            ],
-            run_until=ecu.run_until,
-            now=lambda: ecu.now,
-            context={"ecu": ecu},
-        )
-
-    return factory
+@register_system("latency")
+def build_latency_system(
+    eager: bool = False, check_strategy: str = "wheel"
+) -> CampaignSystem:
+    """One fresh system with per-error-type detection channels."""
+    ecu = Ecu(
+        "central",
+        _mapping(),
+        watchdog_period=ms(10),
+        fmf_policy=FmfPolicy(ecu_faulty_task_threshold=10**6,
+                             max_app_restarts=10**6),
+        fmf_auto_treatment=False,
+        eager_arrival_detection=eager,
+        check_strategy=check_strategy,
+    )
+    return CampaignSystem(
+        target=FaultTarget.from_ecu(ecu),
+        detectors=[
+            watchdog_detector(ecu.watchdog),
+            watchdog_detector(ecu.watchdog, "SW:aliveness",
+                              ErrorType.ALIVENESS),
+            watchdog_detector(ecu.watchdog, "SW:arrival_rate",
+                              ErrorType.ARRIVAL_RATE),
+            watchdog_detector(ecu.watchdog, "SW:program_flow",
+                              ErrorType.PROGRAM_FLOW),
+        ],
+        run_until=ecu.run_until,
+        now=lambda: ecu.now,
+        context={"ecu": ecu},
+    )
 
 
 _FAULTS = [
     ("aliveness (blocked runnable)", "SW:aliveness",
-     lambda s: BlockedRunnableFault("SAFE_CC_process")),
+     FaultSpec.of("blocked", runnable="SAFE_CC_process")),
     ("aliveness (slowed task)", "SW:aliveness",
-     lambda s: TimeScalarFault("SafeSpeedTask", scalar=4.0)),
+     FaultSpec.of("time_scalar", task="SafeSpeedTask", scalar=4.0)),
     ("arrival rate (loop counter)", "SW:arrival_rate",
-     lambda s: LoopCountFault("GetSensorValue", repeat=4)),
+     FaultSpec.of("loop_count", runnable="GetSensorValue", repeat=4)),
     ("program flow (invalid branch)", "SW:program_flow",
-     lambda s: InvalidBranchFault("SafeSpeedTask", 1, "Speed_process")),
+     FaultSpec.of("invalid_branch", chart="SafeSpeedTask", at_step=1,
+                  branch_to="Speed_process")),
 ]
 
 
@@ -102,6 +99,7 @@ def run_latency_study(
     warmup: int = ms(300),
     observation: int = seconds(1),
     check_strategy: str = "wheel",
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
     """Latency per fault class × check-mode; one table row each.
 
@@ -109,15 +107,22 @@ def run_latency_study(
     "scan"); the two are differential-tested to emit identical errors,
     so latency figures must not depend on it — running the study under
     both is the end-to-end cross-check of that property.
+
+    ``workers=N`` parallelizes each fault's repetitions across worker
+    processes (``0`` = ``os.cpu_count()``); rows are identical to the
+    serial study.
     """
     rows: List[Dict[str, object]] = []
     for eager in (False, True):
         campaign = Campaign(
-            _system_factory(eager, check_strategy),
+            SystemSpec.of("latency", eager=eager,
+                          check_strategy=check_strategy),
             warmup=warmup, observation=observation
         )
         for label, channel, factory in _FAULTS:
-            result: CampaignResult = campaign.execute([factory] * repetitions)
+            result: CampaignResult = campaign.execute(
+                [factory] * repetitions, workers=workers
+            )
             stats: Optional[LatencyStats] = LatencyStats.from_values(
                 result.latencies(channel)
             )

@@ -14,6 +14,9 @@ Quantifies the two design arguments of §3.2:
    the legacy full scan against the expiry-wheel strategy — as the
    number of monitored-but-undue runnables grows
    (:func:`check_cycle_scaling_rows`).
+4. **Campaign scaling**: wall-clock throughput of the E1 injection
+   campaign as worker processes are added
+   (:func:`campaign_scaling_rows`).
 """
 
 from __future__ import annotations
@@ -170,6 +173,49 @@ def check_cycle_scaling_rows(
                     "us_per_cycle": round(1e6 * elapsed / cycles, 2),
                 }
             )
+    return rows
+
+
+def campaign_scaling_rows(
+    *,
+    worker_counts: List[int] = None,
+    repetitions: int = 3,
+    warmup: int = ms(300),
+    observation: int = ms(500),
+) -> List[Dict[str, object]]:
+    """E1 campaign throughput: serial vs N worker processes.
+
+    Every injection experiment is an independent fresh system, so the
+    campaign is embarrassingly parallel; with enough cores, throughput
+    scales near-linearly until runs outnumber workers.  On a small
+    machine the table still verifies the parallel path end to end —
+    ``speedup_vs_serial`` just saturates at the core count.
+    """
+    from ..faults.campaigns import Campaign
+    from .coverage import standard_fault_specs
+
+    worker_counts = worker_counts or [1, 2, 4]
+    specs = standard_fault_specs(repetitions)
+    rows: List[Dict[str, object]] = []
+    serial_elapsed: float = 0.0
+    for workers in worker_counts:
+        campaign = Campaign("coverage", warmup=warmup, observation=observation)
+        start = _time.perf_counter()
+        result = campaign.execute(specs, workers=workers)
+        elapsed = _time.perf_counter() - start
+        if workers == 1:
+            serial_elapsed = elapsed
+        rows.append(
+            {
+                "workers": workers,
+                "runs": len(result.runs),
+                "wall_s": round(elapsed, 3),
+                "runs_per_s": round(len(result.runs) / elapsed, 1),
+                "speedup_vs_serial": (
+                    round(serial_elapsed / elapsed, 2) if serial_elapsed else None
+                ),
+            }
+        )
     return rows
 
 

@@ -9,6 +9,15 @@ from .campaigns import (
     watchdog_detector,
 )
 from .injector import ErrorInjector, InjectionRecord
+from .registry import (
+    FaultSpec,
+    RunSpec,
+    SystemSpec,
+    register_fault,
+    register_system,
+    registered_faults,
+    registered_systems,
+)
 from .models import (
     BlockedRunnableFault,
     FaultModel,
@@ -30,6 +39,7 @@ __all__ = [
     "DetectionRecorder",
     "ErrorInjector",
     "FaultModel",
+    "FaultSpec",
     "FaultTarget",
     "HeartbeatCorruptionFault",
     "HeartbeatOmissionFault",
@@ -38,7 +48,13 @@ __all__ = [
     "InvalidBranchFault",
     "LoopCountFault",
     "RunResult",
+    "RunSpec",
     "SkipRunnableFault",
+    "SystemSpec",
     "TimeScalarFault",
+    "register_fault",
+    "register_system",
+    "registered_faults",
+    "registered_systems",
     "watchdog_detector",
 ]

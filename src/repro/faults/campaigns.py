@@ -15,30 +15,44 @@ monitor provide adapters via :class:`DetectionRecorder`.
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left, insort
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .injector import ErrorInjector
 from .models import FaultModel, FaultTarget
+from .registry import FaultSpec, RunSpec, SystemSpec, execute_chunk
 
 
 class DetectionRecorder:
-    """Collects detection timestamps for one monitor."""
+    """Collects detection timestamps for one monitor.
+
+    ``times`` is kept sorted: detections normally arrive in
+    monotonically increasing simulation time, in which case ``record``
+    is an O(1) append; an out-of-order timestamp (a detector replaying
+    a buffered event) is insorted instead of rejected.  Queries are
+    then a single ``bisect`` rather than a linear scan — campaigns call
+    ``first_detection_after`` once per (run × detector), and long
+    observation windows accumulate thousands of detections.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.times: List[int] = []
 
     def record(self, time: int) -> None:
-        """Note one detection event."""
-        self.times.append(time)
+        """Note one detection event (keeps ``times`` sorted)."""
+        if self.times and time < self.times[-1]:
+            insort(self.times, time)
+        else:
+            self.times.append(time)
 
     def first_detection_after(self, time: int) -> Optional[int]:
         """Earliest detection at or after ``time`` (None = undetected)."""
-        for t in self.times:
-            if t >= time:
-                return t
-        return None
+        index = bisect_left(self.times, time)
+        return self.times[index] if index < len(self.times) else None
 
     def clear(self) -> None:
         self.times.clear()
@@ -140,19 +154,47 @@ class CampaignResult:
         return sum(values) / len(values) if values else None
 
     def coverage_table(self) -> List[Dict[str, object]]:
-        """One row per (fault class, detector): coverage + mean latency."""
+        """One row per (fault class, detector): coverage + mean latency.
+
+        Single pass over the runs into per-(class, detector) buckets;
+        the naive formulation (``coverage`` + ``mean_latency`` + a run
+        count per row) rescans the full run list classes × detectors ×
+        3 times, which dominates aggregation cost on large campaigns.
+        """
+        class_order: List[str] = []
+        detector_order: List[str] = []
+        runs_per_class: Dict[str, int] = {}
+        # (class, detector) -> [hits, latency_sum, latency_count]
+        buckets: Dict[Tuple[str, str], List[int]] = {}
+        for run in self.runs:
+            fault_class = run.fault_class
+            if fault_class not in runs_per_class:
+                runs_per_class[fault_class] = 0
+                class_order.append(fault_class)
+            runs_per_class[fault_class] += 1
+            for detector, detected_at in run.detections.items():
+                if detector not in detector_order:
+                    detector_order.append(detector)
+                bucket = buckets.setdefault((fault_class, detector), [0, 0, 0])
+                if detected_at is not None:
+                    bucket[0] += 1
+                    bucket[1] += detected_at - run.inject_time
+                    bucket[2] += 1
         rows: List[Dict[str, object]] = []
-        for fault_class in self.fault_classes():
-            for detector in self.detectors():
+        for fault_class in class_order:
+            for detector in detector_order:
+                hits, latency_sum, latency_count = buckets.get(
+                    (fault_class, detector), (0, 0, 0)
+                )
                 rows.append(
                     {
                         "fault_class": fault_class,
                         "detector": detector,
-                        "coverage": self.coverage(detector, fault_class),
-                        "mean_latency": self.mean_latency(detector, fault_class),
-                        "runs": sum(
-                            1 for r in self.runs if r.fault_class == fault_class
+                        "coverage": hits / runs_per_class[fault_class],
+                        "mean_latency": (
+                            latency_sum / latency_count if latency_count else None
                         ),
+                        "runs": runs_per_class[fault_class],
                     }
                 )
         return rows
@@ -161,13 +203,23 @@ class CampaignResult:
 FaultFactory = Callable[[CampaignSystem], FaultModel]
 SystemFactory = Callable[[], CampaignSystem]
 
+#: ``progress(done_runs, total_runs)`` — called after every completed
+#: run (serial) or every completed chunk (parallel).
+ProgressCallback = Callable[[int, int], None]
+
 
 class Campaign:
-    """Runs one injection experiment per fault factory."""
+    """Runs one injection experiment per fault factory.
+
+    ``system_factory`` may be a plain callable (the historical API), a
+    :class:`~repro.faults.registry.SystemSpec`, or a registered system
+    name (shorthand for a parameterless spec).  Spec-based campaigns can
+    additionally fan out across worker processes — see :meth:`execute`.
+    """
 
     def __init__(
         self,
-        system_factory: SystemFactory,
+        system_factory: Union[SystemFactory, SystemSpec, str],
         *,
         warmup: int,
         observation: int,
@@ -175,17 +227,127 @@ class Campaign:
     ) -> None:
         if warmup < 0 or observation <= 0:
             raise ValueError("warmup must be >= 0 and observation > 0")
+        if isinstance(system_factory, str):
+            system_factory = SystemSpec.of(system_factory)
+        self.system_spec = (
+            system_factory if isinstance(system_factory, SystemSpec) else None
+        )
         self.system_factory = system_factory
         self.warmup = warmup
         self.observation = observation
         self.transient_duration = transient_duration
 
-    def execute(self, fault_factories: Sequence[FaultFactory]) -> CampaignResult:
-        """Run every fault in its own fresh system."""
+    def execute(
+        self,
+        fault_factories: Sequence[FaultFactory],
+        *,
+        workers: int = 1,
+        progress: Optional[ProgressCallback] = None,
+        chunksize: Optional[int] = None,
+        seed: int = 0,
+    ) -> CampaignResult:
+        """Run every fault in its own fresh system.
+
+        ``workers=1`` (default) runs serially in this process;
+        ``workers=N`` fans the runs out over a ``ProcessPoolExecutor``;
+        ``workers=0`` means ``os.cpu_count()``.  Parallel execution
+        requires picklable run descriptions: the campaign must have been
+        built from a :class:`SystemSpec` (or registered name) and every
+        entry of ``fault_factories`` must be a :class:`FaultSpec`.
+
+        The merged result is **order-stable and bit-for-bit identical**
+        to the serial run: runs appear in ``fault_factories`` order
+        regardless of which worker finished first, and serial and
+        parallel paths share one run implementation
+        (:func:`~repro.faults.registry.execute_run`).
+
+        ``chunksize`` batches runs per worker dispatch (default: spread
+        over ~4 chunks per worker) so interpreter and pickling overhead
+        amortizes across many short simulations.  ``seed`` offsets the
+        per-run seeds recorded in the specs.
+        """
+        factories = list(fault_factories)
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        specs = self._run_specs(factories, seed, require=workers > 1)
+        total = len(factories)
         result = CampaignResult()
-        for factory in fault_factories:
-            result.runs.append(self._run_one(factory))
+        if workers == 1 or total == 0:
+            if specs is not None:
+                # Same code path a worker runs — the equivalence anchor.
+                for index, spec in enumerate(specs):
+                    result.runs.extend(execute_chunk([spec]))
+                    if progress is not None:
+                        progress(index + 1, total)
+            else:
+                for index, factory in enumerate(factories):
+                    result.runs.append(self._run_one(factory))
+                    if progress is not None:
+                        progress(index + 1, total)
+            return result
+        result.runs.extend(
+            self._execute_parallel(specs, workers, progress, chunksize)
+        )
         return result
+
+    # ------------------------------------------------------------------
+    def _run_specs(
+        self, factories: Sequence[FaultFactory], seed: int, *, require: bool
+    ) -> Optional[List[RunSpec]]:
+        """Describe the runs as picklable specs, or ``None`` when the
+        campaign uses closures (legacy serial-only mode)."""
+        speccable = self.system_spec is not None and all(
+            isinstance(f, FaultSpec) for f in factories
+        )
+        if not speccable:
+            if require:
+                raise ValueError(
+                    "parallel execution needs picklable run specs: build the "
+                    "Campaign from a SystemSpec (or registered system name) "
+                    "and pass FaultSpec entries, not closures"
+                )
+            return None
+        return [
+            RunSpec(
+                system=self.system_spec,
+                fault=factory,
+                warmup=self.warmup,
+                observation=self.observation,
+                transient_duration=self.transient_duration,
+                seed=seed + index,
+            )
+            for index, factory in enumerate(factories)
+        ]
+
+    def _execute_parallel(
+        self,
+        specs: List[RunSpec],
+        workers: int,
+        progress: Optional[ProgressCallback],
+        chunksize: Optional[int],
+    ) -> List[RunResult]:
+        total = len(specs)
+        if chunksize is None:
+            chunksize = max(1, -(-total // (workers * 4)))
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        chunks = [specs[i:i + chunksize] for i in range(0, total, chunksize)]
+        collected: List[Optional[List[RunResult]]] = [None] * len(chunks)
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_chunk, chunk): index
+                for index, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                collected[index] = future.result()
+                done += len(collected[index])
+                if progress is not None:
+                    progress(done, total)
+        return [run for chunk in collected for run in chunk]
 
     # ------------------------------------------------------------------
     def _run_one(self, factory: FaultFactory) -> RunResult:

@@ -51,6 +51,23 @@ class TestDetectionRecorder:
         recorder.clear()
         assert recorder.first_detection_after(0) is None
 
+    def test_out_of_order_records_are_sorted(self):
+        """Regression: the bisect-based query needs sorted times, so an
+        out-of-order ``record`` must insort rather than append."""
+        recorder = DetectionRecorder("d")
+        for t in (30, 10, 20, 10):
+            recorder.record(t)
+        assert recorder.times == [10, 10, 20, 30]
+        assert recorder.first_detection_after(5) == 10
+        assert recorder.first_detection_after(11) == 20
+        assert recorder.first_detection_after(21) == 30
+        assert recorder.first_detection_after(31) is None
+
+    def test_exact_boundary_is_inclusive(self):
+        recorder = DetectionRecorder("d")
+        recorder.record(10)
+        assert recorder.first_detection_after(10) == 10
+
 
 class TestRunResult:
     def test_latency_and_detected(self):
