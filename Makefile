@@ -6,11 +6,13 @@
 #   make bench-smoke  tier-2: one fast iteration of each benchmark file,
 #                     so benchmark code cannot silently rot
 #   make bench        regenerate every table & figure (slow)
+#   make metrics-smoke  exercise the telemetry CLI: both exporters must
+#                     render and the Prometheus output must parse
 
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test lint bench-smoke bench all
+.PHONY: test lint bench-smoke bench metrics-smoke all
 
 test:
 	$(PYTEST) -x -q
@@ -24,4 +26,8 @@ bench-smoke:
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
-all: test lint bench-smoke
+metrics-smoke:
+	$(REPRO) metrics rig --seconds 1 --format prometheus > /dev/null
+	$(REPRO) metrics faulty --seconds 1 --format json > /dev/null
+
+all: test lint bench-smoke metrics-smoke

@@ -18,7 +18,8 @@ paper relies on:
 * :mod:`repro.faults` — error injection framework and campaigns,
 * :mod:`repro.baselines` — hardware watchdog, deadline monitoring,
   execution-time monitoring, CFCSS,
-* :mod:`repro.analysis` — metrics, overhead accounting, plots.
+* :mod:`repro.analysis` — metrics, overhead accounting, plots,
+* :mod:`repro.telemetry` — metrics registry, structured event export.
 
 Quickstart::
 
@@ -45,5 +46,6 @@ __all__ = [
     "kernel",
     "network",
     "platform",
+    "telemetry",
     "validator",
 ]

@@ -16,12 +16,23 @@ Usage::
     python -m repro rig --seconds 10   # drive the HIL validator
     python -m repro lint               # wdlint the shipped app hypotheses
     python -m repro lint my.json --format json   # ... or your own files
+    python -m repro metrics rig        # telemetry snapshot of a healthy rig
+    python -m repro metrics faulty --format json
     python -m repro all                # everything above
 
 The ``lint`` subcommand exits 0 when every hypothesis is free of
 error-severity diagnostics (warnings allowed unless ``--strict``), 1 on
 lint errors and 2 when a target cannot be loaded — wire it into CI
 (``make lint`` does).
+
+The ``metrics`` subcommand runs one instrumented scenario and renders
+the registry: ``--format prometheus`` (default) prints the text
+exposition format, ``--format json`` a stable JSON snapshot.  It exits
+0 on success and 2 on usage errors (argparse) — matching ``lint``'s
+convention that 0 means "ran and rendered".  ``--telemetry out.jsonl``
+additionally streams the scenario's structured events to a JSONL file;
+the same flag on ``coverage``, ``latency``, ``overhead`` and ``all``
+captures result rows and a final metrics snapshot of those runs.
 """
 
 from __future__ import annotations
@@ -59,19 +70,63 @@ def _progress(done: int, total: int) -> None:
     print(f"  ... {done}/{total} runs", file=sys.stderr)
 
 
+def _open_telemetry(args: argparse.Namespace):
+    """Per-command telemetry setup for the ``--telemetry PATH`` flag.
+
+    Returns ``(registry, sink, owned)``; ``owned`` is False when the
+    pair is shared (``repro all`` opens one appending sink for every
+    subcommand), in which case the caller must not close it.
+    """
+    shared = getattr(args, "_telemetry", None)
+    if shared is not None:
+        return shared[0], shared[1], False
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return None, None, False
+    from .telemetry import JsonlFileSink, MetricsRegistry
+
+    return MetricsRegistry(), JsonlFileSink(path), True
+
+
+def _emit_rows(sink, registry, subject: str, rows, snapshot: bool = True) -> None:
+    """Append one ``result_row`` event per row plus (by default) a
+    ``metrics_snapshot`` of the registry."""
+    from .telemetry import (
+        KIND_METRICS_SNAPSHOT,
+        KIND_RESULT_ROW,
+        TelemetryEvent,
+    )
+
+    for row in rows:
+        sink.emit(TelemetryEvent(
+            time=0, kind=KIND_RESULT_ROW, subject=subject, data=dict(row)
+        ))
+    if snapshot:
+        sink.emit(TelemetryEvent(
+            time=0, kind=KIND_METRICS_SNAPSHOT, subject=subject,
+            data=registry.snapshot(),
+        ))
+
+
 def cmd_coverage(args: argparse.Namespace) -> None:
     from .analysis import coverage_report
     from .experiments import run_coverage_campaign
     from .kernel import seconds
 
+    registry, sink, owned = _open_telemetry(args)
     _print_header("E1 — fault detection coverage")
     result = run_coverage_campaign(
         observation=seconds(args.observation),
         repetitions=args.repetitions,
         workers=args.workers,
         progress=_progress if args.workers != 1 else None,
+        telemetry=registry,
     )
     print(coverage_report(result))
+    if sink is not None:
+        _emit_rows(sink, registry, "coverage", result.coverage_table())
+        if owned:
+            sink.close()
 
 
 def cmd_overhead(args: argparse.Namespace) -> None:
@@ -84,28 +139,45 @@ def cmd_overhead(args: argparse.Namespace) -> None:
         watchdog_cpu_rows,
     )
 
-    _print_header("E2 — flow checking: look-up table vs CFCSS")
-    print(format_table(flow_checking_rows()))
-    _print_header("E2 — watchdog CPU share")
-    print(format_table(watchdog_cpu_rows()))
-    _print_header("E2 — passive heartbeats vs active polling")
-    print(format_table(passive_vs_polling_rows()))
-    _print_header("E2 — check-cycle scaling: full scan vs expiry wheel")
-    print(format_table(check_cycle_scaling_rows()))
-    _print_header("E2 — campaign scaling: serial vs worker processes")
-    print(format_table(campaign_scaling_rows()))
-    _print_header("E2b — projection onto target MCUs (outlook: S12XF)")
-    print(format_table(projection_rows()))
+    registry, sink, owned = _open_telemetry(args)
+    tables = [
+        ("E2 — flow checking: look-up table vs CFCSS", flow_checking_rows),
+        ("E2 — watchdog CPU share", watchdog_cpu_rows),
+        ("E2 — passive heartbeats vs active polling", passive_vs_polling_rows),
+        ("E2 — check-cycle scaling: full scan vs expiry wheel",
+         check_cycle_scaling_rows),
+        ("E2 — campaign scaling: serial vs worker processes",
+         campaign_scaling_rows),
+        ("E2b — projection onto target MCUs (outlook: S12XF)",
+         projection_rows),
+    ]
+    for title, rows_fn in tables:
+        rows = rows_fn()
+        _print_header(title)
+        print(format_table(rows))
+        if sink is not None:
+            _emit_rows(sink, registry, title, rows, snapshot=False)
+    if sink is not None:
+        _emit_rows(sink, registry, "overhead", [])
+        if owned:
+            sink.close()
 
 
 def cmd_latency(args: argparse.Namespace) -> None:
     from .analysis import format_table
     from .experiments import run_latency_study
 
+    registry, sink, owned = _open_telemetry(args)
     _print_header("E3 — detection latency (period-end vs eager-arrival)")
-    print(format_table(run_latency_study(
-        repetitions=args.repetitions, workers=args.workers
-    )))
+    rows = run_latency_study(
+        repetitions=args.repetitions, workers=args.workers,
+        telemetry=registry,
+    )
+    print(format_table(rows))
+    if sink is not None:
+        _emit_rows(sink, registry, "latency", rows)
+        if owned:
+            sink.close()
 
 
 def cmd_treatment(args: argparse.Namespace) -> None:
@@ -195,16 +267,69 @@ def cmd_rig(args: argparse.Namespace) -> None:
         print(f"  {key}: {value}")
 
 
+def cmd_metrics(args: argparse.Namespace) -> None:
+    from .kernel import seconds
+    from .telemetry import (
+        JsonlFileSink,
+        MetricsRegistry,
+        NULL_SINK,
+    )
+
+    registry = MetricsRegistry()
+    sink = JsonlFileSink(args.telemetry) if args.telemetry else NULL_SINK
+
+    if args.scenario in ("rig", "faulty"):
+        from .validator import HilValidator
+
+        rig = HilValidator(telemetry=registry, event_sink=sink)
+        if args.scenario == "faulty":
+            from .faults import ErrorInjector, FaultTarget, TimeScalarFault
+
+            # Mirror Figure 5: scale the SafeSpeed release period for a
+            # window so aliveness errors (and treatments) show up.
+            horizon = seconds(args.seconds)
+            injector = ErrorInjector(FaultTarget.from_ecu(rig.ecu))
+            fault = TimeScalarFault("SafeSpeedTask", scalar=4.0)
+            rig.start()
+            injector.inject_at(horizon // 4, fault,
+                               restore_at=3 * horizon // 4)
+            rig.run(horizon)
+        else:
+            rig.run(seconds(args.seconds))
+        rig.ecu.watchdog.sync_telemetry()
+    else:  # coverage
+        from .experiments import run_coverage_campaign
+
+        run_coverage_campaign(telemetry=registry)
+
+    if args.format == "prometheus":
+        print(registry.render_prometheus(), end="")
+    else:
+        print(registry.render_json())
+    if sink is not NULL_SINK:
+        sink.close()
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     workers = getattr(args, "workers", 1)
-    for command in (cmd_figures, cmd_coverage, cmd_overhead, cmd_latency,
-                    cmd_treatment, cmd_reconfig, cmd_distributed, cmd_jitter,
-                    cmd_toolchain):
-        defaults = argparse.Namespace(
-            which="all", observation=2.0, repetitions=1, seconds=5.0,
-            workers=workers,
-        )
-        command(defaults)
+    telemetry_path = getattr(args, "telemetry", None)
+    shared = None
+    if telemetry_path:
+        from .telemetry import JsonlFileSink, MetricsRegistry
+
+        shared = (MetricsRegistry(), JsonlFileSink(telemetry_path))
+    try:
+        for command in (cmd_figures, cmd_coverage, cmd_overhead, cmd_latency,
+                        cmd_treatment, cmd_reconfig, cmd_distributed,
+                        cmd_jitter, cmd_toolchain):
+            defaults = argparse.Namespace(
+                which="all", observation=2.0, repetitions=1, seconds=5.0,
+                workers=workers, telemetry=None, _telemetry=shared,
+            )
+            command(defaults)
+    finally:
+        if shared is not None:
+            shared[1].close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,20 +346,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     workers_help = ("worker processes for campaign runs "
                     "(1 = serial, 0 = os.cpu_count())")
+    telemetry_help = "stream structured telemetry events to this JSONL file"
 
     coverage = sub.add_parser("coverage", help="E1 coverage matrix")
     coverage.add_argument("--observation", type=float, default=2.0,
                           help="observation window per injection (s)")
     coverage.add_argument("--repetitions", type=int, default=1)
     coverage.add_argument("--workers", type=int, default=1, help=workers_help)
+    coverage.add_argument("--telemetry", metavar="PATH", default=None,
+                          help=telemetry_help)
     coverage.set_defaults(func=cmd_coverage)
 
-    sub.add_parser("overhead", help="E2 overhead tables").set_defaults(
-        func=cmd_overhead)
+    overhead = sub.add_parser("overhead", help="E2 overhead tables")
+    overhead.add_argument("--telemetry", metavar="PATH", default=None,
+                          help=telemetry_help)
+    overhead.set_defaults(func=cmd_overhead)
 
     latency = sub.add_parser("latency", help="E3 latency table")
     latency.add_argument("--repetitions", type=int, default=3)
     latency.add_argument("--workers", type=int, default=1, help=workers_help)
+    latency.add_argument("--telemetry", metavar="PATH", default=None,
+                         help=telemetry_help)
     latency.set_defaults(func=cmd_latency)
 
     sub.add_parser("treatment", help="E4 treatment sweeps").set_defaults(
@@ -263,8 +395,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="treat warnings as errors (exit 1)")
     lint.set_defaults(func=cmd_lint)
 
+    metrics = sub.add_parser(
+        "metrics", help="run one instrumented scenario, render the registry")
+    metrics.add_argument(
+        "scenario", nargs="?", choices=["rig", "faulty", "coverage"],
+        default="rig",
+        help="rig: healthy HIL run; faulty: HIL run with an injected "
+             "aliveness fault; coverage: small E1 campaign")
+    metrics.add_argument("--format", choices=["prometheus", "json"],
+                         default="prometheus")
+    metrics.add_argument("--seconds", type=float, default=2.0,
+                         help="simulated seconds for the rig scenarios")
+    metrics.add_argument("--telemetry", metavar="PATH", default=None,
+                         help=telemetry_help)
+    metrics.set_defaults(func=cmd_metrics)
+
     all_cmd = sub.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--workers", type=int, default=1, help=workers_help)
+    all_cmd.add_argument("--telemetry", metavar="PATH", default=None,
+                         help=telemetry_help)
     all_cmd.set_defaults(func=cmd_all)
     return parser
 

@@ -35,14 +35,25 @@ class LatencyStats:
 
 
 def percentile(ordered: Sequence[int], q: float) -> float:
-    """Linear-interpolation percentile of a pre-sorted sequence."""
-    if not ordered:
+    """Linear-interpolation percentile of a pre-sorted sequence.
+
+    ``q`` must lie in [0, 100]; the endpoints map exactly to the first
+    and last element (``rank = (q/100) * (len-1)`` stays inside the
+    index range, so neither endpoint nor a duplicate-heavy input can
+    index out of bounds).  ``ordered`` only needs ``__len__`` and
+    non-negative ``__getitem__`` — the telemetry
+    :meth:`~repro.telemetry.Histogram.quantile` estimator passes a lazy
+    bucket view instead of a materialized list.
+    """
+    if not len(ordered):
         raise ValueError("empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (q / 100.0) * (len(ordered) - 1)
     low = math.floor(rank)
-    high = math.ceil(rank)
+    high = min(math.ceil(rank), len(ordered) - 1)
     if low == high:
         return float(ordered[low])
     weight = rank - low

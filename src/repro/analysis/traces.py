@@ -8,10 +8,11 @@ response times, heartbeat gaps, and injection-to-detection matching.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..kernel.tracing import Trace, TraceKind
+from ..kernel.tracing import Trace, TraceKind, TraceRecord
 
 
 @dataclass
@@ -112,6 +113,55 @@ def preemption_counts(trace: Trace) -> Dict[str, int]:
     for record in trace.filter(kind=TraceKind.TASK_PREEMPT):
         out[record.subject] = out.get(record.subject, 0) + 1
     return out
+
+
+def trace_to_jsonl(trace: Iterable[TraceRecord]) -> str:
+    """Serialize a kernel trace as JSON Lines, one record per line.
+
+    The :class:`TraceKind` enum is written as its stable string value
+    (``"heartbeat"``, ``"task_activate"``, ...), so the stream stays
+    readable outside this process and shares the ``time``/``kind``/
+    ``subject`` vocabulary of the telemetry event export — kernel
+    ground truth and watchdog narrative line up record-by-record.
+    Round-trips through :func:`trace_from_jsonl`.
+    """
+    return "\n".join(
+        json.dumps(
+            {
+                "time": record.time,
+                "kind": record.kind.value,
+                "subject": record.subject,
+                "info": dict(record.info),
+            },
+            sort_keys=True,
+        )
+        for record in trace
+    )
+
+
+def trace_from_jsonl(text: Iterable[str]) -> List[TraceRecord]:
+    """Parse JSONL back into :class:`TraceRecord` objects.
+
+    Accepts a string (split on newlines) or any iterable of lines;
+    blank lines are skipped.  Unknown ``kind`` values raise
+    ``ValueError`` — the :class:`TraceKind` value space is the schema.
+    """
+    if isinstance(text, str):
+        text = text.splitlines()
+    records: List[TraceRecord] = []
+    for line in text:
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        records.append(
+            TraceRecord(
+                time=payload["time"],
+                kind=TraceKind(payload["kind"]),
+                subject=payload["subject"],
+                info=dict(payload.get("info", {})),
+            )
+        )
+    return records
 
 
 def utilization_by_task(trace: Trace) -> Dict[str, int]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..telemetry import NULL_REGISTRY
 from .hypothesis import FaultHypothesis
 from .reports import ErrorType, RunnableError
 
@@ -178,7 +179,13 @@ class FlowTable:
 class ProgramFlowCheckingUnit:
     """Checks observed runnable sequences against a :class:`FlowTable`."""
 
-    def __init__(self, table: FlowTable, *, task_attribution: Optional[Dict[str, str]] = None) -> None:
+    def __init__(
+        self,
+        table: FlowTable,
+        *,
+        task_attribution: Optional[Dict[str, str]] = None,
+        telemetry=None,
+    ) -> None:
         self.table = table
         #: Maps runnable name → owning task, for attributing errors when a
         #: heartbeat arrives without task context.
@@ -190,6 +197,38 @@ class ProgramFlowCheckingUnit:
         #: Counted look-up operations, for the overhead comparison with
         #: signature-based checking (experiment E2).
         self.lookup_operations = 0
+        # Telemetry mirrors of the plain-int tallies above, folded in by
+        # :meth:`sync_telemetry` (the facade calls it once per check
+        # cycle) so the per-observation hot path stays untouched.
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._tm_enabled = self.telemetry.enabled
+        tm = self.telemetry
+        self._tm_observations = tm.counter(
+            "wd_pfc_observations_total", "Monitored executions observed")
+        self._tm_lookups = tm.counter(
+            "wd_pfc_lookups_total", "Flow-table look-up operations")
+        self._tm_violations = tm.counter(
+            "wd_pfc_violations_total", "Illegal transitions detected")
+        self._tm_table_pairs = tm.gauge(
+            "wd_pfc_table_pairs",
+            "Whitelisted (predecessor, successor) pairs in the flow table")
+        self._tm_table_pairs.set(table.pair_count())
+        self._tm_synced = [0, 0, 0]
+
+    def sync_telemetry(self) -> None:
+        """Fold the plain-int tallies into the registry counters and
+        refresh the table-size gauge."""
+        if not self._tm_enabled:
+            return
+        last = self._tm_synced
+        self._tm_observations.inc(self.observation_count - last[0])
+        self._tm_lookups.inc(self.lookup_operations - last[1])
+        self._tm_violations.inc(self.violation_count - last[2])
+        self._tm_synced = [
+            self.observation_count, self.lookup_operations,
+            self.violation_count,
+        ]
+        self._tm_table_pairs.set(self.table.pair_count())
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: ErrorListener) -> None:

@@ -43,8 +43,10 @@ decide which slots a check cycle visits:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from ..telemetry import NULL_REGISTRY
 from .counters import SlotCounterArrays
 from .hypothesis import FaultHypothesis, RunnableHypothesis
 from .reports import ErrorType, RunnableError
@@ -53,6 +55,11 @@ ErrorListener = Callable[[RunnableError], None]
 
 #: Sentinel deadline for a disarmed (deactivated) wheel entry.
 _DISARMED = -1
+
+#: Check cycles between automatic telemetry syncs.  Folding the
+#: plain-int tallies into registry counters costs several instrument
+#: updates, so it is batched; exporters force a sync before rendering.
+_TM_SYNC_INTERVAL = 16
 
 
 class HeartbeatMonitoringUnit:
@@ -64,6 +71,7 @@ class HeartbeatMonitoringUnit:
         *,
         eager_arrival_detection: bool = False,
         strategy: str = "wheel",
+        telemetry=None,
     ) -> None:
         if strategy not in ("wheel", "scan"):
             raise ValueError(f"unknown check strategy {strategy!r} "
@@ -81,6 +89,12 @@ class HeartbeatMonitoringUnit:
         #: every cycle, with the wheel strategy only by the number of
         #: *due* ones.
         self.slots_visited = 0
+        #: Cumulative number of window-counter resets (an AC reset at
+        #: each aliveness-period expiry, an ARC reset at each
+        #: arrival-period expiry or eager detection).  A plain int like
+        #: ``slots_visited`` so the tally is strategy-independent and
+        #: free even without telemetry.
+        self.counter_resets = 0
         #: Interned slot index per runnable name (configuration-time).
         self.slot_of: Dict[str, int] = {}
         #: Slot index → runnable name / hypothesis (flat, slot-ordered).
@@ -105,6 +119,38 @@ class HeartbeatMonitoringUnit:
         for slot in range(len(self.names)):
             if self.counters.active[slot]:
                 self._arm_slot(slot)
+        # Telemetry: high-frequency tallies stay plain ints on the hot
+        # path and are folded into registry counters once per check
+        # cycle (sync_telemetry); only the cycle-duration histogram is
+        # measured live, gated on ``enabled``.
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._tm_enabled = self.telemetry.enabled
+        tm = self.telemetry
+        self._tm_cycle_seconds = tm.histogram(
+            "wd_hbm_cycle_duration_seconds",
+            "Wall-clock cost of one HBM check cycle",
+            strategy=strategy,
+        )
+        self._tm_cycles = tm.counter(
+            "wd_hbm_check_cycles_total", "HBM check cycles executed")
+        self._tm_heartbeats = tm.counter(
+            "wd_hbm_heartbeats_total", "Aliveness indications accepted")
+        self._tm_unknown = tm.counter(
+            "wd_hbm_unknown_heartbeats_total",
+            "Heartbeats carrying an unknown runnable identifier")
+        self._tm_slots = tm.counter(
+            "wd_hbm_slots_checked_total",
+            "Runnable slots judged due and checked")
+        self._tm_resets = tm.counter(
+            "wd_hbm_counter_resets_total",
+            "AC/ARC window counter resets at period expiry")
+        self._tm_monitored = tm.gauge(
+            "wd_hbm_active_runnables",
+            "Runnables with Activation Status true")
+        self._tm_monitored.set(sum(1 for a in self.counters.active if a))
+        #: Last-synced values of (cycles, heartbeats, unknown, slots, resets).
+        self._tm_synced = [0, 0, 0, 0, 0]
+        self._tm_cycles_unsynced = 0
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: ErrorListener) -> None:
@@ -136,6 +182,7 @@ class HeartbeatMonitoringUnit:
         if self.counters.active[slot] != active:
             self.counters.active[slot] = active
             self.counters.reset_slot(slot)
+            self._tm_monitored.inc(1 if active else -1)
             if active:
                 self._arm_slot(slot)
             else:
@@ -196,6 +243,7 @@ class HeartbeatMonitoringUnit:
                 # eager detection does not silently lengthen subsequent
                 # windows.
                 counters.arc[slot] = 0
+                self.counter_resets += 1
 
     # ------------------------------------------------------------------
     def cycle(self, time: int) -> List[RunnableError]:
@@ -207,13 +255,43 @@ class HeartbeatMonitoringUnit:
         per the paper).  Returns the errors detected in this cycle.
         """
         self.cycle_count += 1
-        if self.strategy == "scan":
-            errors = self._cycle_scan(time)
+        impl = self._cycle_scan if self.strategy == "scan" else self._cycle_wheel
+        if self._tm_enabled:
+            begin = perf_counter()
+            errors = impl(time)
+            self._tm_cycle_seconds.observe(perf_counter() - begin)
+            # Folding the plain-int tallies into the registry costs a
+            # few instrument updates, so it is amortized over a batch of
+            # cycles; counter freshness at render time comes from the
+            # explicit sync the exporters perform.
+            self._tm_cycles_unsynced += 1
+            if self._tm_cycles_unsynced >= _TM_SYNC_INTERVAL:
+                self.sync_telemetry()
         else:
-            errors = self._cycle_wheel(time)
+            errors = impl(time)
         for error in errors:
             self._emit(error)
         return errors
+
+    def sync_telemetry(self) -> None:
+        """Fold the plain-int tallies into the registry counters.
+
+        Runs automatically every ``_TM_SYNC_INTERVAL`` check cycles when
+        a live registry is attached; call it directly before rendering
+        metrics so the counters include the tail of the run."""
+        if not self._tm_enabled:
+            return
+        self._tm_cycles_unsynced = 0
+        last = self._tm_synced
+        self._tm_cycles.inc(self.cycle_count - last[0])
+        self._tm_heartbeats.inc(self.heartbeat_count - last[1])
+        self._tm_unknown.inc(self.unknown_heartbeats - last[2])
+        self._tm_slots.inc(self.slots_visited - last[3])
+        self._tm_resets.inc(self.counter_resets - last[4])
+        self._tm_synced = [
+            self.cycle_count, self.heartbeat_count, self.unknown_heartbeats,
+            self.slots_visited, self.counter_resets,
+        ]
 
     def _cycle_scan(self, time: int) -> List[RunnableError]:
         """Reference implementation: visit every active slot."""
@@ -230,11 +308,13 @@ class HeartbeatMonitoringUnit:
                     errors.append(self._aliveness_error(slot, hyp, time))
                 counters.ac[slot] = 0
                 counters.cca[slot] = 0
+                self.counter_resets += 1
             if counters.ccar[slot] >= hyp.arrival_period:
                 if counters.arc[slot] > hyp.max_heartbeats:
                     errors.append(self._arrival_error(slot, hyp, time))
                 counters.arc[slot] = 0
                 counters.ccar[slot] = 0
+                self.counter_resets += 1
         return errors
 
     def _cycle_wheel(self, time: int) -> List[RunnableError]:
@@ -268,6 +348,7 @@ class HeartbeatMonitoringUnit:
                 if counters.ac[slot] < hyp.min_heartbeats:
                     errors.append(self._aliveness_error(slot, hyp, time))
                 counters.ac[slot] = 0
+                self.counter_resets += 1
                 self._alive_base[slot] = now
                 deadline = now + hyp.aliveness_period
                 self._alive_due[slot] = deadline
@@ -276,6 +357,7 @@ class HeartbeatMonitoringUnit:
                 if counters.arc[slot] > hyp.max_heartbeats:
                     errors.append(self._arrival_error(slot, hyp, time))
                 counters.arc[slot] = 0
+                self.counter_resets += 1
                 self._arr_base[slot] = now
                 deadline = now + hyp.arrival_period
                 self._arr_due[slot] = deadline
@@ -305,10 +387,16 @@ class HeartbeatMonitoringUnit:
         runnable deactivated by the FMF stays unmonitored until it is
         explicitly reactivated.
         """
+        # Fold any unsynced tail first; the registry counters stay
+        # monotonic across watchdog restarts, and re-zeroing the sync
+        # marks makes future deltas count from the freshly reset ints.
+        self.sync_telemetry()
         self.cycle_count = 0
         self.heartbeat_count = 0
         self.unknown_heartbeats = 0
         self.slots_visited = 0
+        self.counter_resets = 0
+        self._tm_synced = [0, 0, 0, 0, 0]
         self.counters.reset_all()
         self._alive_wheel.clear()
         self._arr_wheel.clear()

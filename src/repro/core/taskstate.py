@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..telemetry import NULL_REGISTRY
 from .hypothesis import ThresholdPolicy
 from .reports import (
     EcuStateChange,
@@ -29,6 +30,13 @@ from .reports import (
 TaskFaultListener = Callable[[TaskFaultEvent], None]
 EcuStateListener = Callable[[EcuStateChange], None]
 
+#: Numeric encoding of :class:`MonitorState` for state gauges.
+MONITOR_STATE_VALUE: Dict[MonitorState, int] = {
+    MonitorState.OK: 0,
+    MonitorState.SUSPICIOUS: 1,
+    MonitorState.FAULTY: 2,
+}
+
 
 class TaskStateIndicationUnit:
     """Error indication vectors, thresholds, and state derivation."""
@@ -40,6 +48,7 @@ class TaskStateIndicationUnit:
         task_of_runnable: Optional[Dict[str, str]] = None,
         app_of_task: Optional[Dict[str, str]] = None,
         task_of_slot: Optional[List[Optional[str]]] = None,
+        telemetry=None,
     ) -> None:
         self.thresholds = thresholds or ThresholdPolicy()
         #: runnable → hosting task (completed lazily from incoming errors).
@@ -59,6 +68,26 @@ class TaskStateIndicationUnit:
         self._ecu_state_listeners: List[EcuStateListener] = []
         self._last_ecu_state = MonitorState.OK
         self._error_log: List[RunnableError] = []
+        # Telemetry: errors and threshold crossings are rare, so the
+        # instruments are updated live (a no-op under the null
+        # registry).  State gauges encode OK/SUSPICIOUS/FAULTY as 0/1/2
+        # (MONITOR_STATE_VALUE).
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._tm_enabled = self.telemetry.enabled
+        tm = self.telemetry
+        self._tm_errors = tm.counter(
+            "wd_tsi_errors_recorded_total",
+            "Runnable errors recorded into error indication vectors")
+        self._tm_task_faults = tm.counter(
+            "wd_tsi_task_faults_total",
+            "Task-faulty threshold crossings")
+        self._tm_faulty_tasks = tm.gauge(
+            "wd_tsi_faulty_tasks", "Tasks currently declared faulty")
+        self._tm_ecu_state = tm.gauge(
+            "wd_tsi_ecu_state",
+            "Derived global ECU state (0=ok 1=suspicious 2=faulty)")
+        self._tm_task_gauges: Dict[str, object] = {}
+        self._tm_app_gauges: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def add_task_fault_listener(self, listener: TaskFaultListener) -> None:
@@ -91,6 +120,7 @@ class TaskStateIndicationUnit:
         per_type[error.error_type] = per_type.get(error.error_type, 0) + 1
         self.errors_recorded += 1
         self._error_log.append(error)
+        self._tm_errors.inc()
         threshold = self.thresholds.threshold_for(error.error_type)
         if per_type[error.error_type] >= threshold and task not in self.faulty_tasks:
             event = TaskFaultEvent(
@@ -101,9 +131,12 @@ class TaskStateIndicationUnit:
                 error_vector={r: dict(t) for r, t in vector.items()},
             )
             self.faulty_tasks[task] = event
+            self._tm_task_faults.inc()
             for listener in self._task_fault_listeners:
                 listener(event)
             self._update_ecu_state(when)
+        if self._tm_enabled:
+            self._tm_refresh_states(task)
 
     # ------------------------------------------------------------------
     def error_count(
@@ -198,6 +231,8 @@ class TaskStateIndicationUnit:
         self.error_vectors.pop(task, None)
         self.faulty_tasks.pop(task, None)
         self._update_ecu_state(time=self._error_log[-1].time if self._error_log else 0)
+        if self._tm_enabled:
+            self._tm_refresh_states(task)
 
     def reset(self) -> None:
         """Full reset (ECU software reset)."""
@@ -206,6 +241,11 @@ class TaskStateIndicationUnit:
         self.errors_recorded = 0
         self._error_log.clear()
         self._last_ecu_state = MonitorState.OK
+        if self._tm_enabled:
+            for task in list(self._tm_task_gauges):
+                self._tm_refresh_states(task)
+            self._tm_faulty_tasks.set(0)
+            self._tm_ecu_state.set(0)
 
     # ------------------------------------------------------------------
     def _counts_for(self, runnable: str) -> Dict[ErrorType, int]:
@@ -223,6 +263,36 @@ class TaskStateIndicationUnit:
         for task in self.error_vectors:
             seen.setdefault(task, None)
         return list(seen)
+
+    def _tm_refresh_states(self, task: str) -> None:
+        """Refresh the state gauges touched by a change to ``task``.
+
+        Only called when the registry is live; gauge objects are cached
+        per task/application so repeated refreshes do not re-enter the
+        registry's get-or-create path.
+        """
+        gauge = self._tm_task_gauges.get(task)
+        if gauge is None:
+            gauge = self.telemetry.gauge(
+                "wd_tsi_task_state",
+                "Derived task state (0=ok 1=suspicious 2=faulty)",
+                task=task,
+            )
+            self._tm_task_gauges[task] = gauge
+        gauge.set(MONITOR_STATE_VALUE[self.task_state(task)])
+        app = self.app_of_task.get(task)
+        if app is not None:
+            app_gauge = self._tm_app_gauges.get(app)
+            if app_gauge is None:
+                app_gauge = self.telemetry.gauge(
+                    "wd_tsi_application_state",
+                    "Derived application state (0=ok 1=suspicious 2=faulty)",
+                    application=app,
+                )
+                self._tm_app_gauges[app] = app_gauge
+            app_gauge.set(MONITOR_STATE_VALUE[self.application_state(app)])
+        self._tm_faulty_tasks.set(len(self.faulty_tasks))
+        self._tm_ecu_state.set(MONITOR_STATE_VALUE[self.ecu_state()])
 
     def _update_ecu_state(self, time: int) -> None:
         new_state = self.ecu_state()

@@ -24,9 +24,18 @@ from __future__ import annotations
 import warnings as _warnings
 from typing import Callable, Dict, List, Optional
 
+from ..telemetry import (
+    NULL_REGISTRY,
+    NULL_SINK,
+    KIND_DETECTION,
+    KIND_ECU_STATE_CHANGE,
+    KIND_LINT_WARNING,
+    KIND_TASK_FAULT,
+    TelemetryEvent,
+)
 from .counters import CounterHistory
 from .flowcheck import FlowTable, ProgramFlowCheckingUnit
-from .heartbeat import HeartbeatMonitoringUnit
+from .heartbeat import HeartbeatMonitoringUnit, _TM_SYNC_INTERVAL
 from .hypothesis import FaultHypothesis
 from .reports import ErrorType, MonitorState, RunnableError, TaskFaultEvent
 from .taskstate import TaskStateIndicationUnit
@@ -46,10 +55,19 @@ class SoftwareWatchdog:
         app_of_task: Optional[Dict[str, str]] = None,
         check_strategy: str = "wheel",
         lint: str = "warn",
+        telemetry=None,
+        event_sink=None,
     ) -> None:
         if lint not in ("error", "warn", "off"):
             raise ValueError(f"unknown lint mode {lint!r} "
                              "(expected 'error', 'warn' or 'off')")
+        # Telemetry knobs mirror ``lint=``: optional, default inert.  The
+        # registry fans out to the three units; the event sink receives
+        # structured JSONL-able records for detections, task faults, ECU
+        # state changes and lint warnings.
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.event_sink = event_sink if event_sink is not None else NULL_SINK
+        self._tm_enabled = self.telemetry.enabled
         hypothesis.validate()
         if lint != "off":
             self._lint_hypothesis(hypothesis, mode=lint, source=name)
@@ -62,16 +80,19 @@ class SoftwareWatchdog:
             hypothesis,
             eager_arrival_detection=eager_arrival_detection,
             strategy=check_strategy,
+            telemetry=telemetry,
         )
         self.pfc = ProgramFlowCheckingUnit(
             FlowTable.from_hypothesis(hypothesis),
             task_attribution=task_of_runnable,
+            telemetry=telemetry,
         )
         self.tsi = TaskStateIndicationUnit(
             hypothesis.thresholds,
             task_of_runnable=task_of_runnable,
             app_of_task=app_of_task,
             task_of_slot=[h.task for h in self.hbm._hyps],
+            telemetry=telemetry,
         )
         self.hbm.add_listener(self._on_runnable_error)
         self.pfc.add_listener(self._on_runnable_error)
@@ -83,11 +104,21 @@ class SoftwareWatchdog:
         self.check_cycle_count = 0
         self.history: Optional[CounterHistory] = None
         self._fault_listeners: List[FaultListener] = []
+        self._tm_detections: Dict[ErrorType, object] = {}
+        if self._tm_enabled:
+            for et in ErrorType:
+                self._tm_detections[et] = self.telemetry.counter(
+                    "wd_detections_total",
+                    "Detected runnable errors by error type",
+                    error_type=et.value,
+                )
+        if self.event_sink.enabled:
+            self.tsi.add_task_fault_listener(self._emit_task_fault_event)
+            self.tsi.add_ecu_state_listener(self._emit_ecu_state_event)
 
     # ------------------------------------------------------------------
-    @staticmethod
     def _lint_hypothesis(
-        hypothesis: FaultHypothesis, *, mode: str, source: str
+        self, hypothesis: FaultHypothesis, *, mode: str, source: str
     ) -> None:
         """Construction-time wdlint pass (the ``lint=`` knob).
 
@@ -106,6 +137,17 @@ class SoftwareWatchdog:
             raise LintError(report)
         for diagnostic in report.diagnostics:
             _warnings.warn(str(diagnostic), LintWarning, stacklevel=3)
+            if self.event_sink.enabled:
+                self.event_sink.emit(TelemetryEvent(
+                    time=0,
+                    kind=KIND_LINT_WARNING,
+                    subject=source,
+                    data={
+                        "code": diagnostic.code,
+                        "severity": diagnostic.severity.value,
+                        "message": diagnostic.message,
+                    },
+                ))
 
     # ------------------------------------------------------------------
     # service interfaces (the two main interfaces of §4.4)
@@ -154,9 +196,19 @@ class SoftwareWatchdog:
         errors, and capture history if enabled."""
         self.check_cycle_count += 1
         errors = self.hbm.cycle(time)
+        if self._tm_enabled and self.check_cycle_count % _TM_SYNC_INTERVAL == 0:
+            self.pfc.sync_telemetry()
         if self.history is not None:
             self._capture(time)
         return errors
+
+    def sync_telemetry(self) -> None:
+        """Fold every unit's plain-int tallies into the registry.
+
+        :meth:`check_cycle` already does this once per cycle; call it
+        explicitly before rendering a snapshot taken mid-cycle."""
+        self.hbm.sync_telemetry()
+        self.pfc.sync_telemetry()
 
     def notify_task_start(self, task: str) -> None:
         """Inform the PFC unit that a task activation began (the stream
@@ -243,6 +295,46 @@ class SoftwareWatchdog:
         self.detected[error.error_type] += 1
         per_type = self.detected_per_runnable.setdefault(error.runnable, {})
         per_type[error.error_type] = per_type.get(error.error_type, 0) + 1
+        if self._tm_enabled:
+            self._tm_detections[error.error_type].inc()
+        if self.event_sink.enabled:
+            self.event_sink.emit(TelemetryEvent(
+                time=error.time,
+                kind=KIND_DETECTION,
+                subject=error.runnable,
+                data={
+                    "error_type": error.error_type.value,
+                    "task": error.task,
+                    "details": dict(error.details or {}),
+                },
+            ))
         self.tsi.record_error(error)
         for listener in self._fault_listeners:
             listener(error)
+
+    def _emit_task_fault_event(self, event: TaskFaultEvent) -> None:
+        self.event_sink.emit(TelemetryEvent(
+            time=event.time,
+            kind=KIND_TASK_FAULT,
+            subject=event.task,
+            data={
+                "trigger_runnable": event.trigger_runnable,
+                "trigger_error_type": event.trigger_error_type.value,
+                "error_vector": {
+                    runnable: {et.value: count for et, count in per_type.items()}
+                    for runnable, per_type in event.error_vector.items()
+                },
+            },
+        ))
+
+    def _emit_ecu_state_event(self, change) -> None:
+        self.event_sink.emit(TelemetryEvent(
+            time=change.time,
+            kind=KIND_ECU_STATE_CHANGE,
+            subject=self.name,
+            data={
+                "old_state": change.old_state.value,
+                "new_state": change.new_state.value,
+                "faulty_tasks": list(change.faulty_tasks),
+            },
+        ))

@@ -179,6 +179,7 @@ def run_coverage_campaign(
     system_factory: Optional[Callable[[], CampaignSystem]] = None,
     workers: int = 1,
     progress: Optional[ProgressCallback] = None,
+    telemetry=None,
 ) -> CampaignResult:
     """Execute the E1 campaign and return the aggregated result.
 
@@ -192,6 +193,7 @@ def run_coverage_campaign(
         system_factory if system_factory is not None else "coverage",
         warmup=warmup,
         observation=observation,
+        telemetry=telemetry,
     )
     return campaign.execute(
         standard_fault_specs(repetitions), workers=workers, progress=progress

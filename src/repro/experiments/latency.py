@@ -100,6 +100,7 @@ def run_latency_study(
     observation: int = seconds(1),
     check_strategy: str = "wheel",
     workers: int = 1,
+    telemetry=None,
 ) -> List[Dict[str, object]]:
     """Latency per fault class × check-mode; one table row each.
 
@@ -117,7 +118,8 @@ def run_latency_study(
         campaign = Campaign(
             SystemSpec.of("latency", eager=eager,
                           check_strategy=check_strategy),
-            warmup=warmup, observation=observation
+            warmup=warmup, observation=observation,
+            telemetry=telemetry,
         )
         for label, channel, factory in _FAULTS:
             result: CampaignResult = campaign.execute(

@@ -106,7 +106,7 @@ def watchdog_cpu_rows(
 
 
 def _staggered_unit(
-    runnables: int, period: int, strategy: str
+    runnables: int, period: int, strategy: str, telemetry=None
 ) -> HeartbeatMonitoringUnit:
     """An HBM unit with ``runnables`` healthy runnables whose monitoring
     periods are phase-staggered so roughly ``runnables / period`` checks
@@ -124,7 +124,7 @@ def _staggered_unit(
                 max_heartbeats=1 << 30,
             )
         )
-    unit = HeartbeatMonitoringUnit(hyp, strategy=strategy)
+    unit = HeartbeatMonitoringUnit(hyp, strategy=strategy, telemetry=telemetry)
     # Spread the deadline phases: re-arming slot i at warm-up cycle
     # i % period staggers expiries uniformly across the period.
     for c in range(period):

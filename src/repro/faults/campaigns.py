@@ -19,11 +19,13 @@ import os
 from bisect import bisect_left, insort
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..telemetry import DEFAULT_DURATION_BUCKETS, NULL_REGISTRY
 from .injector import ErrorInjector
 from .models import FaultModel, FaultTarget
-from .registry import FaultSpec, RunSpec, SystemSpec, execute_chunk
+from .registry import FaultSpec, RunSpec, SystemSpec, execute_chunk, execute_chunk_timed
 
 
 class DetectionRecorder:
@@ -224,6 +226,7 @@ class Campaign:
         warmup: int,
         observation: int,
         transient_duration: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if warmup < 0 or observation <= 0:
             raise ValueError("warmup must be >= 0 and observation > 0")
@@ -236,6 +239,24 @@ class Campaign:
         self.warmup = warmup
         self.observation = observation
         self.transient_duration = transient_duration
+        # Campaign instruments.  With the null registry (the default) the
+        # timed dispatch path is never taken, so untelemetered campaigns
+        # run the historical code byte-for-byte.
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._tm_enabled = self.telemetry.enabled
+        tm = self.telemetry
+        self._tm_runs = tm.counter(
+            "campaign_runs_total", "Injection experiments completed")
+        self._tm_run_seconds = tm.histogram(
+            "campaign_run_seconds",
+            "Wall-clock duration of one injection experiment",
+            buckets=DEFAULT_DURATION_BUCKETS,
+        )
+        self._tm_utilization = tm.gauge(
+            "campaign_worker_utilization",
+            "Busy fraction of the worker pool over the last parallel execute "
+            "(sum of per-run wall time / (elapsed time x workers))",
+        )
 
     def execute(
         self,
@@ -278,12 +299,20 @@ class Campaign:
             if specs is not None:
                 # Same code path a worker runs — the equivalence anchor.
                 for index, spec in enumerate(specs):
-                    result.runs.extend(execute_chunk([spec]))
+                    if self._tm_enabled:
+                        runs, durations = execute_chunk_timed([spec])
+                        result.runs.extend(runs)
+                        self._tm_record_runs(durations)
+                    else:
+                        result.runs.extend(execute_chunk([spec]))
                     if progress is not None:
                         progress(index + 1, total)
             else:
                 for index, factory in enumerate(factories):
+                    begin = perf_counter() if self._tm_enabled else 0.0
                     result.runs.append(self._run_one(factory))
+                    if self._tm_enabled:
+                        self._tm_record_runs([perf_counter() - begin])
                     if progress is not None:
                         progress(index + 1, total)
             return result
@@ -336,18 +365,37 @@ class Campaign:
         chunks = [specs[i:i + chunksize] for i in range(0, total, chunksize)]
         collected: List[Optional[List[RunResult]]] = [None] * len(chunks)
         done = 0
+        timed = self._tm_enabled
+        worker_fn = execute_chunk_timed if timed else execute_chunk
+        busy_seconds = 0.0
+        begin = perf_counter() if timed else 0.0
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(execute_chunk, chunk): index
+                pool.submit(worker_fn, chunk): index
                 for index, chunk in enumerate(chunks)
             }
             for future in as_completed(futures):
                 index = futures[future]
-                collected[index] = future.result()
+                outcome = future.result()
+                if timed:
+                    collected[index], durations = outcome
+                    busy_seconds += sum(durations)
+                    self._tm_record_runs(durations)
+                else:
+                    collected[index] = outcome
                 done += len(collected[index])
                 if progress is not None:
                     progress(done, total)
+        if timed:
+            elapsed = perf_counter() - begin
+            if elapsed > 0.0:
+                self._tm_utilization.set(busy_seconds / (elapsed * workers))
         return [run for chunk in collected for run in chunk]
+
+    def _tm_record_runs(self, durations: Sequence[float]) -> None:
+        self._tm_runs.inc(len(durations))
+        for duration in durations:
+            self._tm_run_seconds.observe(duration)
 
     # ------------------------------------------------------------------
     def _run_one(self, factory: FaultFactory) -> RunResult:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import models as _models
@@ -198,6 +199,24 @@ def execute_chunk(specs: Sequence[RunSpec]):
     otherwise spend a visible fraction of its wall clock on dispatch.
     """
     return [execute_run(spec) for spec in specs]
+
+
+def execute_chunk_timed(specs: Sequence[RunSpec]):
+    """Like :func:`execute_chunk`, plus per-run wall-clock seconds.
+
+    Returns ``(results, durations)`` with ``durations[i]`` the wall time
+    of ``specs[i]``.  Dispatched by telemetry-enabled campaigns only —
+    the untimed path stays byte-identical for everyone else — and the
+    timing wraps :func:`execute_run` from the outside, so the run itself
+    is the same code either way.
+    """
+    results = []
+    durations = []
+    for spec in specs:
+        begin = perf_counter()
+        results.append(execute_run(spec))
+        durations.append(perf_counter() - begin)
+    return results, durations
 
 
 # ---------------------------------------------------------------------------

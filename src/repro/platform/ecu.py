@@ -69,6 +69,8 @@ class Ecu:
         lint: str = "warn",
         trace_capacity: Optional[int] = None,
         kernel: Optional[Kernel] = None,
+        telemetry=None,
+        event_sink=None,
     ) -> None:
         self.name = name
         self.mapping = mapping
@@ -100,6 +102,8 @@ class Ecu:
             app_of_task=app_of_task,
             check_strategy=check_strategy,
             lint=lint,
+            telemetry=telemetry,
+            event_sink=event_sink,
         )
         install_glue_on_all(self.watchdog, self.system.runnables.values())
         if watchdog_priority is None:
@@ -116,7 +120,9 @@ class Ecu:
             check_cost=watchdog_check_cost,
         )
 
-        self.fmf = FaultManagementFramework(self, fmf_policy)
+        self.fmf = FaultManagementFramework(
+            self, fmf_policy, telemetry=telemetry, event_sink=event_sink
+        )
         self.watchdog.add_fault_listener(self.fmf.on_runnable_error)
         if fmf_auto_treatment:
             self.watchdog.add_task_fault_listener(self.fmf.on_task_fault)

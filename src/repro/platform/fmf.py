@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol
 
 from ..core.reports import ErrorType, RunnableError, TaskFaultEvent
+from ..telemetry import KIND_TREATMENT, NULL_REGISTRY, NULL_SINK, TelemetryEvent
 from .application import Application
 from .services import DependabilityService
 
@@ -118,6 +119,8 @@ class FaultManagementFramework(DependabilityService):
         policy: Optional[FmfPolicy] = None,
         *,
         name: str = "FaultManagementFramework",
+        telemetry=None,
+        event_sink=None,
     ) -> None:
         super().__init__(name)
         self.ecu = ecu
@@ -126,6 +129,13 @@ class FaultManagementFramework(DependabilityService):
         self.treatment_log: List[TreatmentRecord] = []
         self.app_restart_counts: Dict[str, int] = {}
         self._fault_listeners: List[Callable[[FaultRecord], None]] = []
+        # Faults and treatments are rare events, so the instruments are
+        # updated live; labelled counters are cached per category/action.
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self.event_sink = event_sink if event_sink is not None else NULL_SINK
+        self._tm_enabled = self.telemetry.enabled
+        self._tm_faults: Dict[str, object] = {}
+        self._tm_treatments: Dict[TreatmentAction, object] = {}
         self.provide_interface("fmf.fault_report", self.report_fault)
         self.provide_interface("fmf.runnable_error", self.on_runnable_error)
         self.provide_interface("fmf.task_fault", self.on_task_fault)
@@ -136,6 +146,16 @@ class FaultManagementFramework(DependabilityService):
     def report_fault(self, record: FaultRecord) -> None:
         """Generic fault-report interface (any platform module may call)."""
         self.fault_log.append(record)
+        if self._tm_enabled:
+            counter = self._tm_faults.get(record.category)
+            if counter is None:
+                counter = self.telemetry.counter(
+                    "fmf_faults_total",
+                    "Faults recorded by the FMF, by category",
+                    category=record.category,
+                )
+                self._tm_faults[record.category] = counter
+            counter.inc()
         for listener in self._fault_listeners:
             listener(record)
 
@@ -243,6 +263,23 @@ class FaultManagementFramework(DependabilityService):
         self.treatment_log.append(
             TreatmentRecord(time=time, action=action, subject=subject, reason=reason)
         )
+        if self._tm_enabled:
+            counter = self._tm_treatments.get(action)
+            if counter is None:
+                counter = self.telemetry.counter(
+                    "fmf_treatments_total",
+                    "Treatments carried out by the FMF, by action",
+                    action=action.value,
+                )
+                self._tm_treatments[action] = counter
+            counter.inc()
+        if self.event_sink.enabled:
+            self.event_sink.emit(TelemetryEvent(
+                time=time,
+                kind=KIND_TREATMENT,
+                subject=subject,
+                data={"action": action.value, "reason": reason},
+            ))
 
     # ------------------------------------------------------------------
     # queries

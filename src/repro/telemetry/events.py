@@ -1,0 +1,199 @@
+"""Structured telemetry events — the watchdog's exportable narrative.
+
+Metrics (:mod:`repro.telemetry.registry`) aggregate; events record the
+individual occurrences an integrator replays offline: detections, task
+faults, ECU state changes, treatments, lint warnings.  Every event is a
+versioned, JSON-serializable record so a JSONL stream written today
+stays parseable when the schema grows — and so kernel ground truth
+(:func:`repro.analysis.traces.trace_to_jsonl`) and watchdog telemetry
+can be correlated record-by-record on the shared ``time`` axis.
+
+Sinks implement the :class:`TelemetrySink` protocol (one ``emit``
+method).  Three are provided:
+
+* :class:`InMemorySink` — list-backed, for tests and programmatic use,
+* :class:`JsonlFileSink` — one JSON document per line, for the CLI
+  (``--telemetry out.jsonl``),
+* :class:`NullSink` — the no-op default (``enabled`` is ``False`` so
+  producers can skip event construction entirely).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "InMemorySink",
+    "JsonlFileSink",
+    "NULL_SINK",
+    "NullSink",
+    "TelemetryEvent",
+    "TelemetrySink",
+]
+
+#: Version stamped into every record; bump on incompatible field changes.
+EVENT_SCHEMA_VERSION = 1
+
+#: Well-known event kinds (producers may add new ones; consumers must
+#: ignore kinds they do not understand).
+KIND_DETECTION = "detection"
+KIND_TASK_FAULT = "task_fault"
+KIND_ECU_STATE_CHANGE = "ecu_state_change"
+KIND_TREATMENT = "treatment"
+KIND_LINT_WARNING = "lint_warning"
+KIND_RUN_COMPLETED = "run_completed"
+KIND_METRICS_SNAPSHOT = "metrics_snapshot"
+KIND_RESULT_ROW = "result_row"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One versioned telemetry record.
+
+    ``time`` is simulation ticks for in-run events (detections, state
+    changes, treatments) — the same axis as the kernel trace — and 0
+    for configuration-time or CLI-level events (lint warnings,
+    snapshots).
+    """
+
+    time: int
+    kind: str
+    subject: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    schema: int = EVENT_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "time": self.time,
+            "kind": self.kind,
+            "subject": self.subject,
+            "data": dict(self.data),
+        }
+
+    def to_jsonl(self) -> str:
+        """One-line JSON rendering (no trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TelemetryEvent":
+        return cls(
+            time=payload["time"],
+            kind=payload["kind"],
+            subject=payload["subject"],
+            data=dict(payload.get("data", {})),
+            schema=payload.get("schema", EVENT_SCHEMA_VERSION),
+        )
+
+    @classmethod
+    def from_jsonl(cls, line: str) -> "TelemetryEvent":
+        return cls.from_dict(json.loads(line))
+
+
+class TelemetrySink(Protocol):
+    """Anything that accepts telemetry events."""
+
+    def emit(self, event: TelemetryEvent) -> None: ...
+
+
+class NullSink:
+    """Swallows every event; ``enabled`` is ``False`` so producers can
+    skip building the event object in the first place."""
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+
+#: Shared process-wide null sink — the default for every ``event_sink=``
+#: knob.  Stateless, so sharing is safe.
+NULL_SINK = NullSink()
+
+
+class InMemorySink:
+    """Collects events in a list (tests and programmatic consumers)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(
+        self, kind: Optional[str] = None, subject: Optional[str] = None
+    ) -> List[TelemetryEvent]:
+        """Events matching the given constraints."""
+        return [
+            e for e in self.events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        ]
+
+    def kinds(self) -> List[str]:
+        """Distinct event kinds seen, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.kind, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlFileSink:
+    """Writes one JSON document per event line (the CLI's export format).
+
+    Usable as a context manager; ``mode="a"`` appends to an existing
+    stream (used when several subcommands share one ``--telemetry``
+    file).
+    """
+
+    enabled = True
+
+    def __init__(self, path: str, mode: str = "w") -> None:
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', not {mode!r}")
+        self.path = str(path)
+        self._handle: Optional[IO[str]] = open(self.path, mode,
+                                               encoding="utf-8")
+        self.emitted = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink for {self.path!r} is closed")
+        self._handle.write(event.to_jsonl() + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlFileSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl(lines: Iterable[str]) -> List[TelemetryEvent]:
+    """Parse an iterable of JSONL lines (blank lines skipped)."""
+    return [
+        TelemetryEvent.from_jsonl(line)
+        for line in lines
+        if line.strip()
+    ]

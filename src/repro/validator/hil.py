@@ -74,6 +74,8 @@ class HilValidator:
         eager_arrival_detection: bool = False,
         check_strategy: str = "wheel",
         lint: str = "warn",
+        telemetry=None,
+        event_sink=None,
     ) -> None:
         self.kernel = Kernel()
         self.catalog = build_validator_catalog()
@@ -234,6 +236,8 @@ class HilValidator:
             eager_arrival_detection=eager_arrival_detection,
             check_strategy=check_strategy,
             lint=lint,
+            telemetry=telemetry,
+            event_sink=event_sink,
         )
 
         # --- peripheral nodes -------------------------------------------

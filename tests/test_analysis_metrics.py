@@ -51,6 +51,28 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_q_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2, 3], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1, 2, 3], 100.1)
+
+    def test_duplicate_heavy_input_stays_in_bounds(self):
+        assert percentile([5, 5, 5, 5], 100) == 5.0
+        assert percentile([5, 5, 5, 5], 0) == 5.0
+
+    def test_accepts_lazy_sequence_view(self):
+        # Only __len__ and non-negative __getitem__ are required — the
+        # telemetry Histogram.quantile estimator passes a bucket view.
+        class View:
+            def __len__(self):
+                return 3
+
+            def __getitem__(self, index):
+                return [10, 20, 30][index]
+
+        assert percentile(View(), 50) == 20
+
 
 class TestLatencyStats:
     def test_from_values(self):

@@ -1,5 +1,9 @@
 """Tests for trace post-processing."""
 
+import json
+
+import pytest
+
 from repro.analysis import (
     activation_times,
     detection_latency,
@@ -10,6 +14,8 @@ from repro.analysis import (
     preemption_counts,
     response_time_stats,
     response_times,
+    trace_from_jsonl,
+    trace_to_jsonl,
     utilization_by_task,
 )
 from repro.kernel import Trace, TraceKind, TraceRecord
@@ -115,3 +121,46 @@ class TestStructuralAnalysis:
             (25, TraceKind.RUNNABLE_END, "r2", {"task": "T"}),
         ])
         assert utilization_by_task(trace) == {"T": 9}
+
+
+class TestJsonlRoundTrip:
+    def sample_trace(self):
+        return build_trace([
+            (10, TraceKind.HEARTBEAT, "R", {"task": "T"}),
+            (20, TraceKind.TASK_ACTIVATE, "T", {}),
+            (30, TraceKind.FAULT_INJECTED, "blocked:R", {"kind": "blocked"}),
+        ])
+
+    def test_round_trip_preserves_records(self):
+        trace = self.sample_trace()
+        text = trace_to_jsonl(trace)
+        assert trace_from_jsonl(text) == list(trace)
+
+    def test_one_sorted_json_document_per_line(self):
+        lines = trace_to_jsonl(self.sample_trace()).splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            payload = json.loads(line)
+            assert list(payload) == sorted(payload)
+            assert set(payload) == {"time", "kind", "subject", "info"}
+
+    def test_kind_serialized_as_stable_string(self):
+        first = json.loads(trace_to_jsonl(self.sample_trace()).splitlines()[0])
+        assert first["kind"] == TraceKind.HEARTBEAT.value
+
+    def test_accepts_iterable_and_skips_blank_lines(self):
+        trace = self.sample_trace()
+        lines = trace_to_jsonl(trace).splitlines()
+        records = trace_from_jsonl(["", lines[0], "  ", lines[1], ""])
+        assert records == list(trace)[:2]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            trace_from_jsonl(
+                ['{"time": 1, "kind": "warp_drive", "subject": "x", '
+                 '"info": {}}']
+            )
+
+    def test_empty_trace_round_trips(self):
+        assert trace_to_jsonl(Trace()) == ""
+        assert trace_from_jsonl("") == []

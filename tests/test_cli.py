@@ -12,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for argv in (["figures"], ["coverage"], ["overhead"], ["latency"],
                      ["treatment"], ["reconfig"], ["distributed"], ["jitter"],
-                     ["toolchain"], ["rig"], ["lint"], ["all"]):
+                     ["toolchain"], ["rig"], ["lint"], ["metrics"], ["all"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -122,3 +122,70 @@ class TestLintCommand:
         capsys.readouterr()
         assert main(["lint", "--strict", str(path)]) == 1
         assert "WD202" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_prometheus_exposition_renders(self, capsys):
+        assert main(["metrics", "rig", "--seconds", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE wd_hbm_check_cycles_total counter" in out
+        assert "wd_hbm_cycle_duration_seconds_bucket" in out
+        assert 'wd_detections_total{error_type="aliveness"} 0' in out
+        # Every sample line is "name{labels} value" or a # comment.
+        for line in out.splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+    def test_json_format_parses(self, capsys):
+        assert main(["metrics", "rig", "--seconds", "0.5",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [family["name"] for family in payload["metrics"]]
+        assert "wd_hbm_check_cycles_total" in names
+        assert "wd_tsi_ecu_state" in names
+
+    def test_faulty_scenario_records_detections(self, capsys):
+        assert main(["metrics", "faulty", "--seconds", "1",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {family["name"]: family for family in payload["metrics"]}
+        detections = by_name["wd_detections_total"]["series"]
+        aliveness = next(s for s in detections
+                         if s["labels"] == {"error_type": "aliveness"})
+        assert aliveness["value"] > 0
+        assert "fmf_treatments_total" in by_name
+
+    def test_telemetry_flag_writes_jsonl(self, capsys, tmp_path):
+        from repro.telemetry import KIND_DETECTION, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        assert main(["metrics", "faulty", "--seconds", "1",
+                     "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        events = read_jsonl(path.read_text().splitlines())
+        assert events
+        assert all(e.schema == 1 for e in events)
+        assert any(e.kind == KIND_DETECTION for e in events)
+
+    def test_unknown_scenario_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_format_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics", "rig", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_coverage_flag_writes_result_rows(self, capsys, tmp_path):
+        from repro.telemetry import (
+            KIND_METRICS_SNAPSHOT,
+            KIND_RESULT_ROW,
+            read_jsonl,
+        )
+
+        path = tmp_path / "coverage.jsonl"
+        assert main(["coverage", "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        kinds = [e.kind for e in read_jsonl(path.read_text().splitlines())]
+        assert KIND_RESULT_ROW in kinds
+        assert kinds[-1] == KIND_METRICS_SNAPSHOT

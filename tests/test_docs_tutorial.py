@@ -177,3 +177,21 @@ class TestTutorialSections:
                                 heartbeats_per_second=600,
                                 check_period_s=0.005)
         assert 0.0 < load["cpu_fraction"] < 0.01
+
+
+class TestObservability:
+    def test_section_11_observing_the_watchdog(self):
+        from repro.kernel import seconds
+        from repro.telemetry import InMemorySink, MetricsRegistry
+
+        registry = MetricsRegistry()
+        sink = InMemorySink()
+        ecu = Ecu("brake-node", brake_mapping(), watchdog_period=ms(5),
+                  telemetry=registry, event_sink=sink)
+        ecu.run_until(seconds(10))
+        ecu.watchdog.sync_telemetry()
+        text = registry.render_prometheus()
+        assert "# TYPE wd_hbm_check_cycles_total counter" in text
+        assert registry.value("wd_hbm_check_cycles_total") > 0
+        # A healthy drive produces no detection narrative.
+        assert sink.filter(kind="detection") == []

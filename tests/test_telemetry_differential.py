@@ -1,0 +1,101 @@
+"""Differential equivalence: telemetry must never perturb behavior.
+
+Observability is read-only.  A run with a live registry and event sink
+must produce bit-for-bit the same kernel trace, detections and derived
+states as the default (null-registry) run — the instruments only record
+what happened, they never change what happens.  Same contract as the
+expiry-wheel and parallel-campaign equivalence suites.
+"""
+
+import pytest
+
+from repro.core import ErrorType
+from repro.faults import BlockedRunnableFault, Campaign, ErrorInjector, FaultTarget
+from repro.experiments.coverage import standard_fault_specs
+from repro.kernel import ms, seconds
+from repro.platform import Ecu
+from repro.telemetry import InMemorySink, MetricsRegistry
+from repro.analysis import trace_to_jsonl
+
+from testutil import make_safespeed_mapping
+
+
+def run_faulty_ecu(telemetry=None, event_sink=None):
+    """One deterministic faulty scenario: a blocked runnable for 300 ms."""
+    ecu = Ecu(
+        "central",
+        make_safespeed_mapping(),
+        watchdog_period=ms(10),
+        telemetry=telemetry,
+        event_sink=event_sink,
+    )
+    injector = ErrorInjector(FaultTarget.from_ecu(ecu))
+    injector.inject_at(ms(300), BlockedRunnableFault("SAFE_CC_process"),
+                       restore_at=ms(600))
+    ecu.run_until(seconds(1))
+    return ecu
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_faulty_ecu()
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return run_faulty_ecu(telemetry=MetricsRegistry(),
+                          event_sink=InMemorySink())
+
+
+class TestEcuEquivalence:
+    def test_kernel_traces_identical(self, baseline, observed):
+        base_records = list(baseline.kernel.trace)
+        live_records = list(observed.kernel.trace)
+        assert len(base_records) == len(live_records)
+        assert base_records == live_records
+        # The serialized form matches too (stable record-by-record).
+        assert trace_to_jsonl(baseline.kernel.trace) == trace_to_jsonl(
+            observed.kernel.trace
+        )
+
+    def test_detections_identical(self, baseline, observed):
+        assert observed.watchdog.detected == baseline.watchdog.detected
+        assert (observed.watchdog.detected_per_runnable
+                == baseline.watchdog.detected_per_runnable)
+        assert (observed.watchdog.check_cycle_count
+                == baseline.watchdog.check_cycle_count)
+
+    def test_derived_states_identical(self, baseline, observed):
+        assert observed.watchdog.ecu_state() is baseline.watchdog.ecu_state()
+        base_reports = baseline.watchdog.supervision_reports(time=seconds(1))
+        live_reports = observed.watchdog.supervision_reports(time=seconds(1))
+        assert live_reports == base_reports
+
+    def test_instruments_agree_with_ground_truth(self, observed):
+        observed.watchdog.sync_telemetry()
+        registry = observed.watchdog.telemetry
+        aliveness = observed.watchdog.detection_count(ErrorType.ALIVENESS)
+        # The monotonic counter covers the whole run including any
+        # detections wiped by an ECU-reset treatment mid-run.
+        assert registry.value("wd_detections_total",
+                              error_type="aliveness") >= aliveness
+        assert registry.value("wd_detections_total",
+                              error_type="aliveness") > 0
+        assert aliveness > 0  # the scenario actually exercised detection
+
+
+class TestCampaignEquivalence:
+    def test_telemetered_campaign_runs_identical(self):
+        specs = standard_fault_specs(1)[:3]
+        plain = Campaign("coverage", warmup=ms(300), observation=ms(500))
+        observed = Campaign("coverage", warmup=ms(300), observation=ms(500),
+                            telemetry=MetricsRegistry())
+        assert observed.execute(specs).runs == plain.execute(specs).runs
+
+    def test_telemetered_parallel_equals_plain_serial(self):
+        specs = standard_fault_specs(1)[:3]
+        plain = Campaign("coverage", warmup=ms(300), observation=ms(500))
+        observed = Campaign("coverage", warmup=ms(300), observation=ms(500),
+                            telemetry=MetricsRegistry())
+        assert (observed.execute(specs, workers=2).runs
+                == plain.execute(specs).runs)

@@ -1,0 +1,139 @@
+"""Tests for structured telemetry events and sinks."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EVENT_SCHEMA_VERSION,
+    InMemorySink,
+    JsonlFileSink,
+    KIND_DETECTION,
+    KIND_TASK_FAULT,
+    NULL_SINK,
+    NullSink,
+    TelemetryEvent,
+    read_jsonl,
+)
+
+
+def make_event(time=100, kind=KIND_DETECTION, subject="R",
+               data=None):
+    return TelemetryEvent(time=time, kind=kind, subject=subject,
+                          data=data or {"error_type": "aliveness"})
+
+
+class TestTelemetryEvent:
+    def test_schema_version_stamped(self):
+        assert make_event().schema == EVENT_SCHEMA_VERSION
+
+    def test_jsonl_round_trip(self):
+        event = make_event(data={"a": 1, "nested": {"b": [1, 2]}})
+        line = event.to_jsonl()
+        assert "\n" not in line
+        assert TelemetryEvent.from_jsonl(line) == event
+
+    def test_jsonl_is_key_sorted(self):
+        payload = json.loads(make_event().to_jsonl())
+        assert list(payload) == sorted(payload)
+
+    def test_from_dict_defaults(self):
+        event = TelemetryEvent.from_dict(
+            {"time": 5, "kind": "custom", "subject": "x"}
+        )
+        assert event.data == {}
+        assert event.schema == EVENT_SCHEMA_VERSION
+
+    def test_from_dict_preserves_foreign_schema(self):
+        event = TelemetryEvent.from_dict(
+            {"time": 5, "kind": "custom", "subject": "x", "schema": 99}
+        )
+        assert event.schema == 99
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_event().time = 0
+
+
+class TestNullSink:
+    def test_disabled_and_silent(self):
+        sink = NullSink()
+        assert sink.enabled is False
+        sink.emit(make_event())  # swallowed, no error
+        assert NULL_SINK.enabled is False
+
+
+class TestInMemorySink:
+    def test_collects_in_order(self):
+        sink = InMemorySink()
+        assert sink.enabled is True
+        first = make_event(time=1)
+        second = make_event(time=2, kind=KIND_TASK_FAULT, subject="T")
+        sink.emit(first)
+        sink.emit(second)
+        assert sink.events == [first, second]
+        assert len(sink) == 2
+
+    def test_filter_by_kind_and_subject(self):
+        sink = InMemorySink()
+        sink.emit(make_event(subject="A"))
+        sink.emit(make_event(subject="B"))
+        sink.emit(make_event(kind=KIND_TASK_FAULT, subject="A"))
+        assert len(sink.filter(kind=KIND_DETECTION)) == 2
+        assert len(sink.filter(subject="A")) == 2
+        assert len(sink.filter(kind=KIND_DETECTION, subject="A")) == 1
+
+    def test_kinds_first_seen_order(self):
+        sink = InMemorySink()
+        sink.emit(make_event(kind="b"))
+        sink.emit(make_event(kind="a"))
+        sink.emit(make_event(kind="b"))
+        assert sink.kinds() == ["b", "a"]
+
+    def test_clear(self):
+        sink = InMemorySink()
+        sink.emit(make_event())
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlFileSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [make_event(time=t) for t in (1, 2, 3)]
+        with JsonlFileSink(str(path)) as sink:
+            for event in events:
+                sink.emit(event)
+            assert sink.emitted == 3
+        assert read_jsonl(path.read_text().splitlines()) == events
+
+    def test_append_mode_extends_stream(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlFileSink(str(path)) as sink:
+            sink.emit(make_event(time=1))
+        with JsonlFileSink(str(path), mode="a") as sink:
+            sink.emit(make_event(time=2))
+        times = [e.time for e in read_jsonl(path.read_text().splitlines())]
+        assert times == [1, 2]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlFileSink(str(tmp_path / "e.jsonl"))
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError):
+            sink.emit(make_event())
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlFileSink(str(tmp_path / "e.jsonl"), mode="r")
+
+
+class TestReadJsonl:
+    def test_blank_lines_skipped(self):
+        line = make_event().to_jsonl()
+        parsed = read_jsonl(["", line, "   ", line, ""])
+        assert len(parsed) == 2
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(["not json"])
