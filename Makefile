@@ -8,11 +8,13 @@
 #   make bench        regenerate every table & figure (slow)
 #   make metrics-smoke  exercise the telemetry CLI: both exporters must
 #                     render and the Prometheus output must parse
+#   make serve-smoke  tier-2: real `repro serve` daemon + two SDK
+#                     clients + one induced crash -> detection
 
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test lint bench-smoke bench metrics-smoke all
+.PHONY: test lint bench-smoke bench metrics-smoke serve-smoke all
 
 test:
 	$(PYTEST) -x -q
@@ -30,4 +32,7 @@ metrics-smoke:
 	$(REPRO) metrics rig --seconds 1 --format prometheus > /dev/null
 	$(REPRO) metrics faulty --seconds 1 --format json > /dev/null
 
-all: test lint bench-smoke metrics-smoke
+serve-smoke:
+	$(PYTEST) tests/test_service_e2e.py -m serve_smoke -q
+
+all: test lint bench-smoke metrics-smoke serve-smoke

@@ -1,0 +1,109 @@
+"""Live supervision of real processes: daemon, two children, one crash.
+
+The service layer moves the Software Watchdog out of the simulated
+kernel: ``python -m repro serve`` supervises real operating system
+processes that heartbeat over a socket.  This example spawns the
+daemon plus two genuine child processes:
+
+* ``steady`` — heartbeats forever, also subscribes to every detection
+  (``watch=True``) and reports what it observes,
+* ``doomed`` — heartbeats for a while, then simulates a lockup by
+  simply stopping (no BYE — exactly what a crashed process looks like
+  from the daemon's side).
+
+The daemon maps the dropped connection to missed heartbeats, the
+aliveness window lapses, and the detection is pushed to ``steady``.
+
+Run:  PYTHONPATH=src python examples/live_supervision.py
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+sys.path.insert(0, SRC)
+
+#: Glue code run by each supervised child process.  Periods are in
+#: check cycles: at --tick-ms 10, aliveness_period=10 is a 100 ms window.
+CHILD = r"""
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.core import FaultHypothesis, RunnableHypothesis
+from repro.service import WatchdogClient
+
+name, port, beats, watch = (sys.argv[1], int(sys.argv[2]),
+                            int(sys.argv[3]), sys.argv[4] == "watch")
+hyp = FaultHypothesis()
+hyp.add_runnable(RunnableHypothesis(
+    name + ".work", task=name + ".T", aliveness_period=10,
+    min_heartbeats=1, arrival_period=10, max_heartbeats=1000))
+
+client = WatchdogClient(("127.0.0.1", port), client_name=name, watch=watch)
+client.connect()
+client.register(name, hyp)
+announced = set()
+for beat in range(beats):
+    client.heartbeat(name + ".work", task=name + ".T")
+    client.flush()
+    client.poll()
+    for detection in client.detections:
+        key = (detection["name"], detection["runnable"])
+        if key not in announced:
+            announced.add(key)
+            print(f"{{name}} observed: {{detection['name']}}/"
+                  f"{{detection['runnable']}} -> {{detection['error_type']}}",
+                  flush=True)
+    client.detections.clear()
+    time.sleep(0.02)
+if announced:
+    print(f"{{name}} saw detections about: "
+          f"{{sorted(n for n, _ in announced)}}", flush=True)
+if watch:
+    client.close()           # deliberate departure: BYE deactivates
+# else: just fall off the end -- a crash, as far as the daemon knows
+"""
+
+
+def main() -> None:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--http-port", "0", "--tick-ms", "10"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    banner = daemon.stdout.readline().strip()
+    print(f"daemon: {banner}")
+    match = re.search(r"tcp=[\d.]+:(\d+) http=([\d.]+:\d+)", banner)
+    port, http = int(match.group(1)), f"http://{match.group(2)}"
+
+    print("== spawn two real child processes ==")
+    steady = subprocess.Popen(
+        [sys.executable, "-c", CHILD.format(src=SRC),
+         "steady", str(port), "250", "watch"], text=True, env=env)
+    doomed = subprocess.Popen(
+        [sys.executable, "-c", CHILD.format(src=SRC),
+         "doomed", str(port), "40", "plain"], text=True, env=env)
+
+    doomed.wait()
+    print("== 'doomed' stopped heartbeating (no BYE) ==")
+    steady.wait()
+
+    health = json.loads(urllib.request.urlopen(http + "/healthz",
+                                               timeout=5).read())
+    print(f"daemon verdict: fleet={health['fleet_state']} "
+          f"detections={health['detections']} "
+          f"indications={health['indications']}")
+
+    daemon.send_signal(signal.SIGTERM)
+    out, _ = daemon.communicate(timeout=10)
+    print(f"daemon: {out.strip()}")
+
+
+if __name__ == "__main__":
+    main()

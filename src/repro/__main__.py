@@ -14,6 +14,7 @@ Usage::
     python -m repro jitter             # E7 release-offset ablation
     python -m repro toolchain          # F3 pipeline + RTA cross-check
     python -m repro rig --seconds 10   # drive the HIL validator
+    python -m repro serve --port 6060  # run the live supervision daemon
     python -m repro lint               # wdlint the shipped app hypotheses
     python -m repro lint my.json --format json   # ... or your own files
     python -m repro metrics rig        # telemetry snapshot of a healthy rig
@@ -267,6 +268,12 @@ def cmd_rig(args: argparse.Namespace) -> None:
         print(f"  {key}: {value}")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.cli import run_serve
+
+    return run_serve(args)
+
+
 def cmd_metrics(args: argparse.Namespace) -> None:
     from .kernel import seconds
     from .telemetry import (
@@ -409,6 +416,13 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--telemetry", metavar="PATH", default=None,
                          help=telemetry_help)
     metrics.set_defaults(func=cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve", help="run the live supervision daemon (asyncio)")
+    from .service.cli import add_serve_arguments
+
+    add_serve_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
 
     all_cmd = sub.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--workers", type=int, default=1, help=workers_help)

@@ -1,0 +1,66 @@
+"""Live supervision service — the watchdog as an actual network service.
+
+Everything else in this repository supervises *simulated* runnables
+against a virtual clock.  This package realizes the paper's framing of
+the Software Watchdog as a *dependability software service* literally:
+a long-running asyncio daemon that real, out-of-process clients register
+with and heartbeat into over a socket.
+
+* :mod:`repro.service.protocol` — versioned, length-delimited JSON wire
+  protocol (HELLO/REGISTER/HEARTBEAT/FLOW/BYE requests, ACK/DETECTION/
+  STATE server frames),
+* :mod:`repro.service.supervisor` — the synchronous supervision core:
+  :class:`SupervisorShard` wraps one wheel-strategy
+  :class:`~repro.core.watchdog.SoftwareWatchdog` per registration and
+  lints hypotheses on REGISTER,
+* :mod:`repro.service.fleet` — shards registrations across N shards and
+  rolls their task states up into the existing ECU/FMF state machine,
+* :mod:`repro.service.server` — the asyncio TCP + UNIX-socket daemon
+  with per-shard backpressure, a real-time check-cycle ticker and an
+  HTTP ``/metrics`` + ``/healthz`` endpoint,
+* :mod:`repro.service.client` — :class:`WatchdogClient`, the glue-code
+  SDK (indication batching, reconnect with exponential backoff plus
+  jitter, bounded offline buffer).
+
+The daemon is the ``python -m repro serve`` subcommand; a differential
+test pins the service path to the in-process path: the same indication
+stream over a loopback socket and via direct ``heartbeat_indication()``
+calls produces identical detections and task-state rollups.
+"""
+
+from .client import ClientError, RegistrationRejected, WatchdogClient
+from .fleet import Fleet
+from .protocol import (
+    FatalProtocolError,
+    Frame,
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+)
+from .server import SupervisionServer
+from .supervisor import (
+    Registration,
+    RegistrationError,
+    SupervisorShard,
+    build_watchdog,
+)
+
+__all__ = [
+    "ClientError",
+    "FatalProtocolError",
+    "Fleet",
+    "Frame",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Registration",
+    "RegistrationError",
+    "RegistrationRejected",
+    "SupervisionServer",
+    "SupervisorShard",
+    "WatchdogClient",
+    "build_watchdog",
+]

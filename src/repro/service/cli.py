@@ -1,0 +1,123 @@
+"""``python -m repro serve`` — run the live supervision daemon.
+
+Runs until SIGTERM/SIGINT (clean shutdown: listeners closed, tasks
+awaited, UNIX socket unlinked, telemetry sink flushed and closed) or
+until ``--run-seconds`` elapses (used by the smoke tests).  The bound
+addresses are printed on startup — with ``--port 0`` / ``--http-port 0``
+the OS picks free ports and the printed line is how a test harness
+discovers them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Optional
+
+__all__ = ["add_serve_arguments", "run_serve"]
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for TCP and HTTP listeners")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP listener port (0 = OS-assigned; "
+                             "default 6060 unless --socket is given)")
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="additionally (or instead) listen on this "
+                             "UNIX socket path")
+    parser.add_argument("--http-port", type=int, default=None,
+                        help="HTTP port for /metrics and /healthz "
+                             "(0 = OS-assigned; default: TCP port + 1)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="supervisor shards (each drives its own "
+                             "watchdogs and inbound queue)")
+    parser.add_argument("--strict", action="store_true",
+                        help="reject REGISTERs whose hypothesis has any "
+                             "lint diagnostics (not just errors)")
+    parser.add_argument("--tick-ms", type=float, default=10.0,
+                        help="real-time check-cycle period in ms")
+    parser.add_argument("--queue-limit", type=int, default=10_000,
+                        help="per-shard inbound queue bound (oldest "
+                             "dropped beyond it)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="stream structured telemetry events to this "
+                             "JSONL file (flushed every 64 events)")
+    parser.add_argument("--run-seconds", type=float, default=None,
+                        help="exit after this many seconds (smoke tests; "
+                             "default: run until SIGTERM/SIGINT)")
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    port: Optional[int] = args.port
+    if port is None and args.socket is None:
+        port = 6060
+    http_port = args.http_port
+    if http_port is None and port is not None:
+        http_port = port + 1 if port else 0
+    try:
+        asyncio.run(_serve(args, port=port, http_port=http_port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+async def _serve(
+    args: argparse.Namespace, *, port: Optional[int], http_port: Optional[int]
+) -> None:
+    from ..telemetry import JsonlFileSink
+    from .server import SupervisionServer
+
+    sink = None
+    if args.telemetry:
+        sink = JsonlFileSink(args.telemetry, flush_every=64)
+    server = SupervisionServer(
+        host=args.host,
+        port=port,
+        unix_path=args.socket,
+        http_port=http_port,
+        shards=max(1, args.shards),
+        strict=args.strict,
+        tick_interval=args.tick_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        event_sink=sink,
+    )
+    await server.start()
+
+    endpoints = []
+    if server.port is not None:
+        endpoints.append(f"tcp={server.host}:{server.port}")
+    if server.unix_path is not None:
+        endpoints.append(f"unix={server.unix_path}")
+    if server.http_port is not None:
+        endpoints.append(f"http={server.host}:{server.http_port}")
+    print(f"{server.name} listening {' '.join(endpoints)} "
+          f"shards={len(server.fleet.shards)} strict={args.strict} "
+          f"tick_ms={args.tick_ms:g}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    try:
+        if args.run_seconds is not None:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=args.run_seconds)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+    finally:
+        await server.stop()
+        stats = server.fleet.stats()
+        stats["missed_ticks"] = server.missed_ticks
+        print("shutdown " + " ".join(f"{k}={v}" for k, v in stats.items()),
+              flush=True)
+        if sink is not None:
+            sink.close()
+        sys.stdout.flush()

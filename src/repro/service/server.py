@@ -1,0 +1,631 @@
+"""The asyncio supervision daemon.
+
+Transport only: every supervision decision is made by the synchronous
+core (:mod:`repro.service.supervisor` / :mod:`repro.service.fleet`);
+this module moves frames.  Three design rules keep the daemon a
+dependability service rather than a liability:
+
+* **misbehaving clients cannot hurt the server** — a malformed payload
+  is rejected with an error ACK and the connection survives (only
+  corrupt *framing* closes it); an unannounced disconnect simply stops
+  the heartbeat stream, which the watchdog reports as missed
+  heartbeats — the service degrades into exactly the detection it
+  exists to produce;
+* **backpressure is bounded and observable** — each shard owns a
+  bounded inbound queue; when a flood outruns the shard, the *oldest*
+  indications are dropped (they are the stalest evidence) and every
+  drop is counted in telemetry;
+* **the check cycle is real time** — a ticker task drives
+  ``fleet.tick()`` on a fixed wall-clock period, accounting every
+  overrun in ``missed_ticks``; tests pass ``tick_interval=None`` and
+  call :meth:`SupervisionServer.tick` themselves for determinism.
+
+The daemon also serves HTTP ``GET /metrics`` (Prometheus text
+exposition of the shared :class:`~repro.telemetry.MetricsRegistry`) and
+``GET /healthz`` (a JSON health summary) from a tiny built-in HTTP/1.0
+responder — no web framework, no dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import os
+import time as _time
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from ..core.reports import EcuStateChange, RunnableError, TaskFaultEvent
+from ..telemetry import MetricsRegistry, NULL_SINK
+from .fleet import Fleet
+from .protocol import (
+    FatalProtocolError,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    T_ACK,
+    T_BYE,
+    T_DETECTION,
+    T_FLOW,
+    T_HEARTBEAT,
+    T_HELLO,
+    T_REGISTER,
+    T_STATE,
+    encode_frame,
+)
+from .supervisor import RegistrationError
+
+__all__ = ["SupervisionServer"]
+
+#: Bytes per socket read.
+_READ_SIZE = 64 * 1024
+
+#: Indications a shard drain applies before yielding to the event loop
+#: (bounds how long a backlog can delay the check-cycle ticker).
+_DRAIN_YIELD_EVERY = 64
+
+
+class _DropOldestQueue:
+    """Bounded FIFO with drop-oldest overflow and ``join()`` semantics.
+
+    ``asyncio.Queue`` blocks producers when full; a supervision daemon
+    must never let one flooding client stall the reader loop, so
+    overflow evicts the oldest queued indication instead (stalest
+    evidence first) and counts it.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self._items: Deque[Any] = collections.deque()
+        self._limit = limit
+        self._readable = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._unfinished = 0
+        self.dropped = 0
+
+    def put_nowait(self, item: Any) -> int:
+        """Enqueue; returns the number of items evicted (0 or 1)."""
+        evicted = 0
+        if len(self._items) >= self._limit:
+            self._items.popleft()
+            self.dropped += 1
+            self._unfinished -= 1
+            evicted = 1
+        self._items.append(item)
+        self._unfinished += 1
+        self._idle.clear()
+        self._readable.set()
+        return evicted
+
+    async def get(self) -> Any:
+        while not self._items:
+            self._readable.clear()
+            await self._readable.wait()
+        return self._items.popleft()
+
+    def task_done(self) -> None:
+        self._unfinished -= 1
+        if self._unfinished <= 0:
+            self._idle.set()
+
+    async def join(self) -> None:
+        await self._idle.wait()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _Connection:
+    """Per-connection state: the writer, the bound registrations."""
+
+    _ids = 0
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        _Connection._ids += 1
+        self.id = _Connection._ids
+        self.writer = writer
+        self.client_name: Optional[str] = None
+        self.registrations: Set[str] = set()
+        self.watching = False
+        self.said_bye = False
+        self.closed = False
+
+
+class SupervisionServer:
+    """The live supervision daemon (TCP and/or UNIX socket + HTTP)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        http_port: Optional[int] = None,
+        shards: int = 1,
+        strict: bool = False,
+        tick_interval: Optional[float] = 0.01,
+        queue_limit: int = 10_000,
+        telemetry: Optional[MetricsRegistry] = None,
+        event_sink=None,
+        name: str = "repro-supervisord",
+    ) -> None:
+        if port is None and unix_path is None:
+            raise ValueError("need a TCP port and/or a UNIX socket path")
+        self.name = name
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.http_port = http_port
+        self.tick_interval = tick_interval
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.event_sink = event_sink if event_sink is not None else NULL_SINK
+        self.fleet = Fleet(
+            shards,
+            strict=strict,
+            telemetry=self.telemetry,
+            event_sink=self.event_sink,
+        )
+        self._queues: List[_DropOldestQueue] = [
+            _DropOldestQueue(queue_limit) for _ in range(shards)
+        ]
+        self._conn_of: Dict[str, _Connection] = {}
+        self._state_hooked: Set[str] = set()
+        self._connections: Set[_Connection] = set()
+        self._tasks: List[asyncio.Task] = []
+        self._servers: List[asyncio.AbstractServer] = []
+        self._started = False
+        self._stopping = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0: float = 0.0
+        self.missed_ticks = 0
+        self.pushes_dropped = 0
+
+        tm = self.telemetry
+        self._tm_frames: Dict[str, Any] = {}
+        self._tm_malformed = tm.counter(
+            "service_malformed_frames_total",
+            "Frames rejected by the wire-protocol decoder")
+        self._tm_indications = tm.counter(
+            "service_indications_total",
+            "Heartbeat and flow indications accepted into shard queues")
+        self._tm_dropped = tm.counter(
+            "service_dropped_indications_total",
+            "Indications evicted oldest-first by shard backpressure")
+        self._tm_unknown = tm.counter(
+            "service_unknown_registration_total",
+            "Indications naming a registration the fleet does not know")
+        self._tm_missed_ticks = tm.counter(
+            "service_missed_ticks_total",
+            "Check cycles the real-time ticker could not run on schedule")
+        self._tm_connections = tm.gauge(
+            "service_connections", "Currently open client connections")
+        self._tm_registrations = tm.gauge(
+            "service_registrations", "Registered (ever-seen) hypotheses")
+        self._tm_disconnects: Dict[bool, Any] = {
+            graceful: tm.counter(
+                "service_disconnects_total",
+                "Client disconnects by goodbye discipline",
+                graceful=str(graceful).lower())
+            for graceful in (True, False)
+        }
+        self._tm_tick_duration = tm.histogram(
+            "service_tick_duration_seconds",
+            "Wall-clock duration of one fleet check cycle")
+        self._tm_pushes_dropped = tm.counter(
+            "service_pushes_dropped_total",
+            "DETECTION/STATE pushes dropped because no client was bound")
+
+        self.fleet.add_detection_listener(self._push_detection)
+        self.fleet.add_task_fault_listener(self._push_task_fault)
+        self.fleet.add_fleet_state_listener(self._push_fleet_state)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind listeners, start the shard drains and the ticker."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._t0 = loop.time()
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path
+            )
+            self._servers.append(server)
+        if self.http_port is not None:
+            server = await asyncio.start_server(
+                self._handle_http, host=self.host, port=self.http_port
+            )
+            self.http_port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        for shard, queue in zip(self.fleet.shards, self._queues):
+            self._tasks.append(
+                loop.create_task(self._drain_shard(shard, queue))
+            )
+        if self.tick_interval is not None:
+            self._tasks.append(loop.create_task(self._ticker()))
+        self._started = True
+
+    async def stop(self) -> None:
+        """Shut down cleanly: no task left pending, sockets unlinked."""
+        self._stopping = True
+        for server in self._servers:
+            server.close()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for conn in list(self._connections):
+            await self._close_connection(conn, graceful=conn.said_bye)
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
+
+    async def drain(self) -> None:
+        """Wait until every queued indication has been applied."""
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
+    def now(self) -> int:
+        """Server time in integer microseconds since start (the same
+        integer-tick axis every simulated component uses)."""
+        if self._loop is None:
+            return 0
+        return int((self._loop.time() - self._t0) * 1e6)
+
+    def tick(self, time: Optional[int] = None) -> List[Tuple[str, RunnableError]]:
+        """One fleet check cycle (the ticker's body; tests call it
+        directly when ``tick_interval=None``)."""
+        started = _time.perf_counter()
+        errors = self.fleet.tick(self.now() if time is None else time)
+        self._tm_tick_duration.observe(_time.perf_counter() - started)
+        return errors
+
+    async def _ticker(self) -> None:
+        loop = asyncio.get_running_loop()
+        period = self.tick_interval
+        next_at = loop.time() + period
+        while True:
+            delay = next_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            late = loop.time() - next_at
+            if late > period:
+                missed = int(late // period)
+                self.missed_ticks += missed
+                self._tm_missed_ticks.inc(missed)
+                next_at += period * missed
+            self.tick()
+            next_at += period
+
+    async def _drain_shard(
+        self, shard, queue: _DropOldestQueue
+    ) -> None:
+        processed = 0
+        while True:
+            item = await queue.get()
+            try:
+                if item[0] == "hb":
+                    shard.heartbeat(item[1], item[2], item[3], item[4])
+                else:
+                    shard.task_start(item[1], item[2])
+            finally:
+                queue.task_done()
+            # queue.get() is synchronous while items are queued; yield
+            # periodically so a deep backlog cannot starve the ticker.
+            processed += 1
+            if processed % _DRAIN_YIELD_EVERY == 0:
+                await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # wire protocol connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self._tm_connections.inc()
+        decoder = FrameDecoder()
+        try:
+            while not conn.closed:
+                chunk = await reader.read(_READ_SIZE)
+                if not chunk:
+                    break
+                try:
+                    items = decoder.feed(chunk)
+                except FatalProtocolError as exc:
+                    self._tm_malformed.inc()
+                    self._send(conn, T_ACK, ok=False, re=None, error=str(exc))
+                    break
+                for item in items:
+                    if isinstance(item, ProtocolError):
+                        self._tm_malformed.inc()
+                        self._send(
+                            conn, T_ACK, ok=False, re=None, error=str(item)
+                        )
+                        continue
+                    self._dispatch(conn, item)
+                    if conn.said_bye:
+                        break
+                if conn.said_bye:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Only stop() cancels connection readers; exiting quietly
+            # keeps shutdown free of "exception was never retrieved"
+            # noise from the streams machinery.
+            pass
+        finally:
+            await self._close_connection(conn, graceful=conn.said_bye)
+
+    def _dispatch(self, conn: _Connection, frame: Frame) -> None:
+        counter = self._tm_frames.get(frame.type)
+        if counter is None:
+            counter = self.telemetry.counter(
+                "service_frames_total",
+                "Decoded protocol frames by type", type=frame.type)
+            self._tm_frames[frame.type] = counter
+        counter.inc()
+        if frame.type == T_HELLO:
+            conn.client_name = str(frame.get("client", "") or f"conn{conn.id}")
+            # watch=true subscribes this connection to every DETECTION
+            # (monitoring clients); default is own-registrations only.
+            conn.watching = bool(frame.get("watch", False))
+            self._send(conn, T_ACK, ok=True, re=T_HELLO, server=self.name)
+        elif frame.type == T_REGISTER:
+            self._handle_register(conn, frame)
+        elif frame.type == T_HEARTBEAT:
+            self._handle_indications(conn, frame, kind="hb")
+        elif frame.type == T_FLOW:
+            self._handle_indications(conn, frame, kind="flow")
+        elif frame.type == T_BYE:
+            for name in sorted(conn.registrations):
+                self.fleet.deregister(name)
+            conn.said_bye = True
+            self._send(conn, T_ACK, ok=True, re=T_BYE)
+        else:  # a server-only type sent by a client
+            self._send(
+                conn, T_ACK, ok=False, re=frame.type,
+                error=f"clients may not send {frame.type} frames",
+            )
+
+    def _handle_register(self, conn: _Connection, frame: Frame) -> None:
+        name = frame.get("name")
+        hypothesis = frame.get("hypothesis")
+        if not isinstance(name, str) or not name:
+            self._send(conn, T_ACK, ok=False, re=T_REGISTER,
+                       error="REGISTER needs a non-empty string 'name'")
+            return
+        if not isinstance(hypothesis, dict):
+            self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
+                       error="REGISTER needs a 'hypothesis' object")
+            return
+        app_of_task = frame.get("app_of_task")
+        if app_of_task is not None and not isinstance(app_of_task, dict):
+            self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
+                       error="'app_of_task' must be an object")
+            return
+        bound = self._conn_of.get(name)
+        if bound is not None and not bound.closed and bound is not conn:
+            self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
+                       error=f"registration {name!r} is bound to a live "
+                             "connection")
+            return
+        try:
+            registration = self.fleet.register(
+                name, hypothesis, app_of_task=app_of_task
+            )
+        except RegistrationError as exc:
+            self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
+                       error=str(exc), lint=exc.reasons)
+            return
+        registration.connected = True
+        conn.registrations.add(name)
+        self._conn_of[name] = conn
+        self._tm_registrations.set(len(self.fleet.registrations))
+        if name not in self._state_hooked:
+            self._state_hooked.add(name)
+            registration.watchdog.tsi.add_ecu_state_listener(
+                lambda change, _name=name: self._push_ecu_state(_name, change)
+            )
+        self._send(
+            conn, T_ACK, ok=True, re=T_REGISTER, name=name,
+            shard=registration.shard_index,
+            lint=list(registration.lint_diagnostics),
+        )
+
+    def _handle_indications(
+        self, conn: _Connection, frame: Frame, *, kind: str
+    ) -> None:
+        name = frame.get("name")
+        shard = self.fleet.shard_for(name) if isinstance(name, str) else None
+        if shard is None:
+            self._tm_unknown.inc()
+            return
+        batch = frame.get("batch")
+        if not isinstance(batch, list):
+            self._tm_malformed.inc()
+            self._send(conn, T_ACK, ok=False, re=frame.type, name=name,
+                       error="indication frames need a 'batch' list")
+            return
+        queue = self._queues[shard.index]
+        stamp = None
+        for entry in batch:
+            if kind == "hb":
+                if (not isinstance(entry, (list, tuple)) or len(entry) != 3
+                        or not isinstance(entry[0], str)):
+                    self._tm_malformed.inc()
+                    continue
+                runnable, at, task = entry
+                if at is None:
+                    if stamp is None:
+                        stamp = self.now()
+                    at = stamp
+                if not isinstance(at, int) or isinstance(at, bool):
+                    self._tm_malformed.inc()
+                    continue
+                item = ("hb", name, runnable, at, task)
+            else:
+                if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                        or not isinstance(entry[0], str)):
+                    self._tm_malformed.inc()
+                    continue
+                item = ("flow", name, entry[0])
+            self._tm_indications.inc()
+            if queue.put_nowait(item):
+                self._tm_dropped.inc()
+
+    # ------------------------------------------------------------------
+    # push channels (server → client frames)
+    # ------------------------------------------------------------------
+    def _push(self, registration: str, type: str, **data: Any) -> None:
+        conn = self._conn_of.get(registration)
+        if conn is None or conn.closed:
+            self.pushes_dropped += 1
+            self._tm_pushes_dropped.inc()
+            return
+        self._send(conn, type, name=registration, **data)
+
+    def _push_detection(self, registration: str, error: RunnableError) -> None:
+        data = dict(
+            time=error.time, runnable=error.runnable, task=error.task,
+            error_type=error.error_type.value,
+            details=dict(error.details or {}),
+        )
+        self._push(registration, T_DETECTION, **data)
+        owner = self._conn_of.get(registration)
+        for conn in self._connections:
+            if conn.watching and conn is not owner and not conn.closed:
+                self._send(conn, T_DETECTION, name=registration, **data)
+
+    def _push_task_fault(self, registration: str, event: TaskFaultEvent) -> None:
+        self._push(
+            registration, T_STATE, scope="task", subject=event.task,
+            state="faulty", time=event.time,
+            trigger_runnable=event.trigger_runnable,
+            trigger_error_type=event.trigger_error_type.value,
+        )
+
+    def _push_ecu_state(self, registration: str, change: EcuStateChange) -> None:
+        self._push(
+            registration, T_STATE, scope="ecu", subject=registration,
+            state=change.new_state.value, old_state=change.old_state.value,
+            time=change.time, faulty_tasks=list(change.faulty_tasks),
+        )
+
+    def _push_fleet_state(self, change: EcuStateChange) -> None:
+        for conn in self._connections:
+            if not conn.closed and conn.registrations:
+                self._send(
+                    conn, T_STATE, scope="fleet", subject=self.name,
+                    state=change.new_state.value,
+                    old_state=change.old_state.value,
+                    time=change.time, faulty_tasks=list(change.faulty_tasks),
+                )
+
+    def _send(self, conn: _Connection, type: str, **data: Any) -> bool:
+        if conn.closed:
+            return False
+        try:
+            conn.writer.write(encode_frame(type, **data))
+        except (ConnectionError, RuntimeError):
+            conn.closed = True
+            return False
+        return True
+
+    async def _close_connection(self, conn: _Connection, *, graceful: bool) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        self._tm_connections.dec()
+        self._tm_disconnects[graceful].inc()
+        for name in conn.registrations:
+            registration = self.fleet.registration(name)
+            if registration is not None:
+                registration.connected = False
+            if self._conn_of.get(name) is conn:
+                del self._conn_of[name]
+            # Not graceful: the registration stays ACTIVE, so the now
+            # silent runnables accumulate missed heartbeats and the
+            # watchdog derives the fault — the required degradation.
+        conn.closed = True
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # HTTP: /metrics and /healthz
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        stats = self.fleet.stats()
+        stats.update(
+            status="ok",
+            server=self.name,
+            uptime_us=self.now() if self._started else 0,
+            connections=len(self._connections),
+            queued=sum(len(queue) for queue in self._queues),
+            dropped=sum(queue.dropped for queue in self._queues),
+            missed_ticks=self.missed_ticks,
+        )
+        return stats
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+            if method != "GET":
+                status, ctype, body = "405 Method Not Allowed", "text/plain", \
+                    "only GET is supported\n"
+            elif path == "/metrics":
+                for registration in self.fleet.registrations.values():
+                    registration.watchdog.sync_telemetry()
+                status, ctype, body = ("200 OK",
+                                       "text/plain; version=0.0.4",
+                                       self.telemetry.render_prometheus())
+            elif path == "/healthz":
+                status, ctype, body = ("200 OK", "application/json",
+                                       json.dumps(self.health(),
+                                                  sort_keys=True) + "\n")
+            else:
+                status, ctype, body = ("404 Not Found", "text/plain",
+                                       f"no route for {path}\n")
+            payload = body.encode("utf-8")
+            writer.write(
+                (f"HTTP/1.0 {status}\r\n"
+                 f"Content-Type: {ctype}\r\n"
+                 f"Content-Length: {len(payload)}\r\n"
+                 "Connection: close\r\n\r\n").encode("latin-1") + payload
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

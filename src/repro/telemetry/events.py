@@ -159,15 +159,23 @@ class JsonlFileSink:
 
     Usable as a context manager; ``mode="a"`` appends to an existing
     stream (used when several subcommands share one ``--telemetry``
-    file).
+    file).  ``flush_every=N`` flushes the underlying file every N
+    emitted events so a long-running daemon's stream is durable without
+    reopening the file; the default (``None``) keeps the historical
+    close-time flushing.
     """
 
     enabled = True
 
-    def __init__(self, path: str, mode: str = "w") -> None:
+    def __init__(
+        self, path: str, mode: str = "w", *, flush_every: Optional[int] = None
+    ) -> None:
         if mode not in ("w", "a"):
             raise ValueError(f"mode must be 'w' or 'a', not {mode!r}")
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, not {flush_every!r}")
         self.path = str(path)
+        self.flush_every = flush_every
         self._handle: Optional[IO[str]] = open(self.path, mode,
                                                encoding="utf-8")
         self.emitted = 0
@@ -177,6 +185,14 @@ class JsonlFileSink:
             raise ValueError(f"sink for {self.path!r} is closed")
         self._handle.write(event.to_jsonl() + "\n")
         self.emitted += 1
+        if (self.flush_every is not None
+                and self.emitted % self.flush_every == 0):
+            self._handle.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS now (no-op once closed)."""
+        if self._handle is not None:
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
@@ -190,10 +206,29 @@ class JsonlFileSink:
         self.close()
 
 
-def read_jsonl(lines: Iterable[str]) -> List[TelemetryEvent]:
-    """Parse an iterable of JSONL lines (blank lines skipped)."""
-    return [
-        TelemetryEvent.from_jsonl(line)
-        for line in lines
-        if line.strip()
-    ]
+def read_jsonl(
+    lines: Iterable[str], *, strict: bool = False
+) -> List[TelemetryEvent]:
+    """Parse an iterable of JSONL lines (blank lines skipped).
+
+    A killed daemon leaves a crash-truncated final line; by default that
+    one *trailing* partial line is tolerated and the intact prefix is
+    returned.  A malformed line with more content after it is still
+    corruption and raises, as does any malformed line under
+    ``strict=True`` (the historical behavior).
+    """
+    events: List[TelemetryEvent] = []
+    pending: Optional[Exception] = None
+    for line in lines:
+        if not line.strip():
+            continue
+        if pending is not None:
+            # The malformed line was not the trailing one after all.
+            raise pending
+        try:
+            events.append(TelemetryEvent.from_jsonl(line))
+        except (ValueError, KeyError, TypeError) as exc:
+            if strict:
+                raise
+            pending = exc
+    return events

@@ -12,7 +12,8 @@ class TestParser:
         parser = build_parser()
         for argv in (["figures"], ["coverage"], ["overhead"], ["latency"],
                      ["treatment"], ["reconfig"], ["distributed"], ["jitter"],
-                     ["toolchain"], ["rig"], ["lint"], ["metrics"], ["all"]):
+                     ["toolchain"], ["rig"], ["lint"], ["metrics"], ["serve"],
+                     ["all"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 

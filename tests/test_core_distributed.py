@@ -200,3 +200,70 @@ class TestRemoteSupervisor:
         assert supervisor.peer_state("a") is MonitorState.OK
         assert supervisor.peer_state("b") is MonitorState.FAULTY
         assert supervisor.network_state() is MonitorState.FAULTY
+
+
+class TestListenerNotificationOrdering:
+    """add_listener contracts: registration-order fan-out, peer-order
+    error delivery, and delivery only after the full cycle sweep."""
+
+    def make_two_peer_supervisor(self, check_period=2):
+        supervisor = RemoteSupervisor(check_period=check_period)
+        specs = {}
+        for index, node in enumerate(["first", "second"]):
+            specs[node] = make_supervision_frame_spec(index, node)
+            supervisor.watch(node, specs[node].frame_id)
+        return supervisor, specs
+
+    def test_listeners_called_in_registration_order(self):
+        supervisor, _ = self.make_two_peer_supervisor()
+        calls = []
+        supervisor.add_listener(lambda e: calls.append(("a", e.node)))
+        supervisor.add_listener(lambda e: calls.append(("b", e.node)))
+        supervisor.add_listener(lambda e: calls.append(("c", e.node)))
+        supervisor.cycle(10)
+        supervisor.cycle(20)  # both silent peers flagged this cycle
+        # Per error: every listener fires, in registration order.
+        assert [tag for tag, _ in calls[:3]] == ["a", "b", "c"]
+        assert len({node for _, node in calls[:3]}) == 1
+
+    def test_errors_delivered_in_peer_registration_order(self):
+        supervisor, _ = self.make_two_peer_supervisor()
+        seen = []
+        supervisor.add_listener(lambda e: seen.append(e.node))
+        supervisor.cycle(10)
+        supervisor.cycle(20)
+        assert seen == ["first", "second"]
+
+    def test_delivery_after_full_sweep(self):
+        # Listeners observe the post-sweep world: when the first peer's
+        # error is delivered, the second peer's verdict is already
+        # updated — a listener can take a consistent network snapshot.
+        supervisor, _ = self.make_two_peer_supervisor()
+        snapshots = []
+        supervisor.add_listener(
+            lambda e: snapshots.append(
+                (e.node, supervisor.network_state())))
+        supervisor.cycle(10)
+        supervisor.cycle(20)
+        assert snapshots
+        assert all(state is MonitorState.FAULTY for _, state in snapshots)
+
+    def test_cycle_return_matches_deliveries(self):
+        supervisor, _ = self.make_two_peer_supervisor()
+        delivered = []
+        supervisor.add_listener(delivered.append)
+        supervisor.cycle(10)
+        returned = supervisor.cycle(20)
+        assert returned == delivered
+
+    def test_listener_added_mid_stream_misses_earlier_errors(self):
+        supervisor, _ = self.make_two_peer_supervisor()
+        early, late = [], []
+        supervisor.add_listener(early.append)
+        supervisor.cycle(10)
+        supervisor.cycle(20)  # first detection round
+        supervisor.add_listener(late.append)
+        supervisor.cycle(30)
+        supervisor.cycle(40)  # second detection round
+        assert len(early) == 4  # two peers x two rounds
+        assert len(late) == 2   # only the round after registration

@@ -1,0 +1,401 @@
+"""The asyncio daemon: transport, degradation, backpressure, HTTP."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.core import FaultHypothesis, RunnableHypothesis
+from repro.core.config_io import hypothesis_to_dict
+from repro.core.reports import ErrorType, MonitorState
+from repro.service import SupervisionServer, WatchdogClient
+from repro.service.protocol import (
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    T_ACK,
+    T_BYE,
+    T_DETECTION,
+    T_HEARTBEAT,
+    T_HELLO,
+    T_REGISTER,
+    encode_frame,
+)
+
+
+def make_hyp_dict(prefix: str = "", task: str = "T"):
+    hyp = FaultHypothesis()
+    hyp.add_runnable(RunnableHypothesis(
+        f"{prefix}sense", task=task, aliveness_period=2, min_heartbeats=1,
+        arrival_period=2, max_heartbeats=8))
+    hyp.add_runnable(RunnableHypothesis(
+        f"{prefix}act", task=task, aliveness_period=2, min_heartbeats=1,
+        arrival_period=2, max_heartbeats=8))
+    hyp.allow_sequence([f"{prefix}sense", f"{prefix}act"])
+    return hypothesis_to_dict(hyp)
+
+
+async def start_server(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("tick_interval", None)
+    server = SupervisionServer(**kwargs)
+    await server.start()
+    return server
+
+
+async def in_thread(fn, *args):
+    return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+
+async def barrier(peer):
+    """HELLO round-trip: frames are dispatched in order per connection,
+    so once the ACK arrives every prior indication is enqueued."""
+    await peer.send(T_HELLO, client="barrier")
+    ack = await peer.recv_frame()
+    assert ack.get("ok")
+
+
+class _WireClient:
+    """A raw protocol peer driven from inside the event loop."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.frames = []
+
+    @classmethod
+    async def connect(cls, server):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port)
+        return cls(reader, writer)
+
+    async def send(self, type, **data):
+        self.writer.write(encode_frame(type, **data))
+        await self.writer.drain()
+
+    async def send_raw(self, payload: bytes):
+        self.writer.write(payload)
+        await self.writer.drain()
+
+    async def recv_frame(self, timeout=5.0):
+        while not self.frames:
+            chunk = await asyncio.wait_for(
+                self.reader.read(65536), timeout=timeout)
+            assert chunk, "server closed the connection"
+            self.frames.extend(self.decoder.feed(chunk))
+        return self.frames.pop(0)
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestWireServer:
+    def test_hello_register_heartbeat_bye(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send(T_HELLO, client="it")
+            ack = await peer.recv_frame()
+            assert ack.type == T_ACK and ack.get("ok")
+            assert ack.get("server") == server.name
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            ack = await peer.recv_frame()
+            assert ack.get("ok") and ack.get("shard") == 0
+            await peer.send(T_HEARTBEAT, name="p",
+                            batch=[["sense", 5, "T"], ["act", 6, "T"]])
+            await barrier(peer)
+            await server.drain()
+            registration = server.fleet.registration("p")
+            assert registration.indications == 2
+            await peer.send(T_BYE)
+            ack = await peer.recv_frame()
+            assert ack.get("ok") and ack.get("re") == T_BYE
+            await peer.close()
+            await asyncio.sleep(0.02)
+            assert not registration.active
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_malformed_payload_gets_error_ack_connection_survives(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send_raw(struct.pack("!I", 9) + b"{not json")
+            ack = await peer.recv_frame()
+            assert ack.type == T_ACK and not ack.get("ok")
+            # The same connection still works afterwards.
+            await peer.send(T_HELLO, client="still-here")
+            ack = await peer.recv_frame()
+            assert ack.get("ok")
+            assert server.telemetry.counter(
+                "service_malformed_frames_total").value == 1
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_corrupt_length_header_closes_connection(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send_raw(struct.pack("!I", 1 << 30) + b"junk")
+            ack = await peer.recv_frame()
+            assert not ack.get("ok")
+            chunk = await asyncio.wait_for(peer.reader.read(65536), timeout=5)
+            assert chunk == b""  # server hung up: framing is unrecoverable
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_register_rejections(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, hypothesis=make_hyp_dict())
+            assert not (await peer.recv_frame()).get("ok")  # missing name
+            await peer.send(T_REGISTER, name="p", hypothesis="nope")
+            assert not (await peer.recv_frame()).get("ok")  # not an object
+            await peer.send(T_REGISTER, name="p", hypothesis={"version": 9})
+            nack = await peer.recv_frame()
+            assert not nack.get("ok")
+            assert "invalid hypothesis" in nack.get("error")
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_registration_bound_to_live_connection_not_stealable(self):
+        async def scenario():
+            server = await start_server()
+            owner = await _WireClient.connect(server)
+            await owner.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            assert (await owner.recv_frame()).get("ok")
+            thief = await _WireClient.connect(server)
+            await thief.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            nack = await thief.recv_frame()
+            assert not nack.get("ok")
+            assert "live connection" in nack.get("error")
+            await owner.close()
+            await thief.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_server_only_frame_from_client_nacked(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send(T_DETECTION, name="p")
+            nack = await peer.recv_frame()
+            assert not nack.get("ok")
+            assert "may not send" in nack.get("error")
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_null_heartbeat_time_stamped_by_server(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            await peer.recv_frame()
+            await peer.send(T_HEARTBEAT, name="p", batch=[["sense", None, "T"]])
+            await barrier(peer)
+            await server.drain()
+            assert server.fleet.registration("p").indications == 1
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+
+class TestDegradation:
+    def test_disconnect_without_bye_becomes_missed_heartbeats(self):
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            assert (await peer.recv_frame()).get("ok")
+            await peer.send(T_HEARTBEAT, name="p",
+                            batch=[["sense", 1, "T"], ["act", 2, "T"]])
+            await barrier(peer)
+            await server.drain()
+            await peer.close()  # vanish without BYE
+            await asyncio.sleep(0.02)
+            registration = server.fleet.registration("p")
+            assert registration.active  # NOT deactivated: crash suspected
+            assert not registration.connected
+            detections = []
+            server.fleet.add_detection_listener(
+                lambda name, e: detections.append(e))
+            for cycle in range(1, 16):
+                server.tick(cycle * 10)
+            assert any(e.error_type is ErrorType.ALIVENESS for e in detections)
+            assert server.fleet.registration_states()["p"] is MonitorState.FAULTY
+            assert server.telemetry.counter(
+                "service_disconnects_total", graceful="false").value == 1
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_backpressure_drops_oldest_and_counts(self):
+        async def scenario():
+            server = await start_server(queue_limit=10)
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            assert (await peer.recv_frame()).get("ok")
+            # Flood 50 indications in one frame without yielding to the
+            # drain task: only the newest 10 survive.
+            batch = [["sense", t, "T"] for t in range(50)]
+            await peer.send(T_HEARTBEAT, name="p", batch=batch)
+            # Let the reader task ingest the frame (it enqueues
+            # synchronously while dispatching).
+            for _ in range(50):
+                await asyncio.sleep(0)
+                if server.telemetry.counter(
+                        "service_indications_total").value == 50:
+                    break
+            await server.drain()
+            dropped = server.telemetry.counter(
+                "service_dropped_indications_total").value
+            applied = server.fleet.registration("p").indications
+            assert applied + dropped == 50
+            assert dropped >= 1
+            assert server.health()["dropped"] == dropped
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+
+class TestSdkAgainstServer:
+    def test_sdk_register_heartbeat_detection_push(self):
+        async def scenario():
+            server = await start_server(shards=2)
+            address = (server.host, server.port)
+
+            def client_setup():
+                client = WatchdogClient(address, client_name="sdk",
+                                        batch_size=4)
+                client.connect()
+                ack = client.register("p", make_hyp_dict())
+                assert ack["shard"] == 0
+                for t in (10, 20, 30):
+                    client.task_start("T", t)
+                    client.heartbeat("sense", t, "T")
+                    client.heartbeat("act", t + 1, "T")
+                assert client.sync()
+                return client
+
+            client = await in_thread(client_setup)
+            await server.drain()
+            assert server.tick(100) == []
+            for t in (200, 300, 400, 500):
+                server.tick(t)
+            await asyncio.sleep(0.02)
+            await in_thread(client.poll)
+            assert client.detections
+            assert {d["error_type"] for d in client.detections} == {"aliveness"}
+            scopes = {s["scope"] for s in client.states}
+            assert "fleet" in scopes
+            await in_thread(client.close)
+            await asyncio.sleep(0.02)
+            assert not server.fleet.registration("p").active
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_unix_socket_transport(self, tmp_path):
+        async def scenario():
+            path = str(tmp_path / "wd.sock")
+            server = SupervisionServer(unix_path=path, tick_interval=None)
+            await server.start()
+
+            def client_work():
+                with WatchdogClient(path, client_name="unix") as client:
+                    client.register("p", make_hyp_dict())
+                    client.heartbeat("sense", 1, "T")
+                    assert client.sync()
+                return True
+
+            assert await in_thread(client_work)
+            await server.drain()
+            assert server.fleet.registration("p").indications == 1
+            await server.stop()
+            import os
+            assert not os.path.exists(path)  # unlinked on stop
+        asyncio.run(scenario())
+
+
+class TestHttp:
+    def test_metrics_and_healthz(self):
+        async def scenario():
+            server = await start_server(http_port=0)
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            await peer.recv_frame()
+            await peer.send(T_HEARTBEAT, name="p", batch=[["sense", 1, "T"]])
+            await barrier(peer)
+            await server.drain()
+            server.tick(10)
+
+            async def http_get(path):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.http_port)
+                writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(-1), timeout=5)
+                writer.close()
+                await writer.wait_closed()
+                head, _, body = raw.partition(b"\r\n\r\n")
+                return head.decode("latin-1"), body.decode()
+
+            head, body = await http_get("/metrics")
+            assert "200 OK" in head
+            assert "service_indications_total 1" in body
+            assert "# TYPE service_tick_duration_seconds histogram" in body
+            assert "wd_hbm_heartbeats_total" in body  # watchdog units share it
+
+            head, body = await http_get("/healthz")
+            assert "200 OK" in head
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["registrations"] == 1
+            assert health["shards"] == 1
+
+            head, _ = await http_get("/nope")
+            assert "404" in head
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_post_rejected(self):
+        async def scenario():
+            server = await start_server(http_port=0)
+            reader, writer = await asyncio.open_connection(
+                server.host, server.http_port)
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), timeout=5)
+            assert b"405" in raw
+            writer.close()
+            await writer.wait_closed()
+            await server.stop()
+        asyncio.run(scenario())
+
+
+class TestTicker:
+    def test_real_time_ticker_drives_check_cycles(self):
+        async def scenario():
+            server = await start_server(tick_interval=0.005)
+            await asyncio.sleep(0.06)
+            await server.stop()
+            assert server.fleet.stats()["ticks"] >= 5
+        asyncio.run(scenario())
+
+    def test_needs_some_listener(self):
+        with pytest.raises(ValueError):
+            SupervisionServer()
+
+    def test_protocol_version_pinned(self):
+        # The ACK path asserts v=1 framing end to end; a bump must be
+        # deliberate.
+        assert PROTOCOL_VERSION == 1

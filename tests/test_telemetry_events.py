@@ -127,6 +127,33 @@ class TestJsonlFileSink:
         with pytest.raises(ValueError):
             JsonlFileSink(str(tmp_path / "e.jsonl"), mode="r")
 
+    def test_flush_every_makes_lines_durable(self, tmp_path):
+        # With flush_every=2 the file must contain flushed lines while
+        # the sink is still open (a killed daemon loses at most the
+        # unflushed tail).
+        path = tmp_path / "e.jsonl"
+        sink = JsonlFileSink(str(path), flush_every=2)
+        sink.emit(make_event(time=1))
+        sink.emit(make_event(time=2))
+        on_disk = path.read_text().splitlines()
+        assert len(on_disk) == 2
+        sink.emit(make_event(time=3))  # buffered, below the next flush
+        sink.close()
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_explicit_flush(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = JsonlFileSink(str(path))  # default: no periodic flushing
+        sink.emit(make_event(time=1))
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 1
+        sink.close()
+        sink.flush()  # no-op once closed
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlFileSink(str(tmp_path / "e.jsonl"), flush_every=0)
+
 
 class TestReadJsonl:
     def test_blank_lines_skipped(self):
@@ -134,6 +161,32 @@ class TestReadJsonl:
         parsed = read_jsonl(["", line, "   ", line, ""])
         assert len(parsed) == 2
 
-    def test_malformed_line_raises(self):
+    def test_trailing_partial_line_tolerated(self):
+        # A crash-truncated stream: the last line was cut mid-write.
+        lines = [make_event(time=t).to_jsonl() for t in (1, 2)]
+        truncated = make_event(time=3).to_jsonl()[:17]
+        parsed = read_jsonl(lines + [truncated])
+        assert [e.time for e in parsed] == [1, 2]
+
+    def test_trailing_blank_after_partial_still_tolerated(self):
+        lines = [make_event(time=1).to_jsonl(), '{"tru', "", "   "]
+        assert [e.time for e in read_jsonl(lines)] == [1]
+
+    def test_mid_stream_corruption_still_raises(self):
+        # A malformed line *followed by more records* is corruption,
+        # not truncation.
+        good = make_event().to_jsonl()
         with pytest.raises(json.JSONDecodeError):
-            read_jsonl(["not json"])
+            read_jsonl([good, "not json", good])
+
+    def test_strict_raises_on_trailing_partial(self):
+        good = make_event().to_jsonl()
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl([good, "not json"], strict=True)
+
+    def test_missing_field_counts_as_partial(self):
+        # Truncation can also cut inside the JSON object, leaving
+        # valid JSON that is not a valid event record.
+        assert read_jsonl(['{"schema": 1, "time": 3}']) == []
+        with pytest.raises(KeyError):
+            read_jsonl(['{"schema": 1, "time": 3}'], strict=True)

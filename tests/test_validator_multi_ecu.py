@@ -117,3 +117,64 @@ class TestStatePropagation:
         local = body.ecu.watchdog.detected[ErrorType.ALIVENESS]
         remote = rig.supervisor.peers["body"].reported_errors["aliveness"]
         assert abs(local - remote) <= 1  # one frame of staleness at most
+
+
+class TestCrashRecoverRoundTrip:
+    """Repeated crash->recover cycles must round-trip cleanly: the
+    verdict, the publishing pipeline, and the error log all return to
+    steady state each time, with the healthy peer never implicated."""
+
+    def test_three_cycles_verdict_round_trips(self, rig):
+        rig.run_for(seconds(1))
+        for _ in range(3):
+            rig.crash_node("body")
+            rig.run_for(ms(200))
+            assert rig.node_state("body") is MonitorState.FAULTY
+            rig.recover_node("body")
+            rig.run_for(ms(200))
+            assert rig.node_state("body") is MonitorState.OK
+        assert rig.supervisor.network_state() is MonitorState.OK
+
+    def test_publishing_resumes_each_cycle(self, rig):
+        rig.run_for(seconds(1))
+        for _ in range(2):
+            rig.crash_node("body")
+            rig.run_for(ms(200))
+            stalled = rig.nodes["body"].publisher.published_count
+            rig.recover_node("body")
+            rig.run_for(ms(200))
+            resumed = rig.nodes["body"].publisher.published_count
+            # ~10 ms publish period -> about 20 new frames in 200 ms.
+            assert resumed - stalled >= 15
+
+    def test_errors_stop_accumulating_after_recovery(self, rig):
+        rig.run_for(seconds(1))
+        rig.crash_node("body")
+        rig.run_for(ms(200))
+        rig.recover_node("body")
+        rig.run_for(ms(100))  # give the supervisor one clean window
+        settled = len(rig.node_aliveness_log)
+        rig.run_for(ms(500))
+        assert len(rig.node_aliveness_log) == settled
+
+    def test_healthy_peer_unaffected_across_cycles(self, rig):
+        rig.run_for(seconds(1))
+        for _ in range(2):
+            rig.crash_node("body")
+            rig.run_for(ms(200))
+            rig.recover_node("body")
+            rig.run_for(ms(200))
+            assert rig.node_state("chassis") is MonitorState.OK
+        assert all(e.node == "body" for e in rig.node_aliveness_log)
+        assert rig.nodes["chassis"].ecu.watchdog.detection_count() == 0
+
+    def test_summary_reflects_recovery(self, rig):
+        rig.run_for(seconds(1))
+        rig.crash_node("body")
+        rig.run_for(ms(200))
+        assert rig.summary()["nodes"]["body"]["crashed"] is True
+        rig.recover_node("body")
+        rig.run_for(ms(200))
+        summary = rig.summary()["nodes"]["body"]
+        assert summary["crashed"] is False
+        assert summary["supervisor_verdict"] == "ok"
