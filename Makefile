@@ -10,11 +10,14 @@
 #                     render and the Prometheus output must parse
 #   make serve-smoke  tier-2: real `repro serve` daemon + two SDK
 #                     clients + one induced crash -> detection
+#   make ha-smoke     tier-2: kill -9 the daemon and restart it from its
+#                     --state-dir; warm standby promotion + client
+#                     failover
 
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test lint bench-smoke bench metrics-smoke serve-smoke all
+.PHONY: test lint bench-smoke bench metrics-smoke serve-smoke ha-smoke all
 
 test:
 	$(PYTEST) -x -q
@@ -35,4 +38,7 @@ metrics-smoke:
 serve-smoke:
 	$(PYTEST) tests/test_service_e2e.py -m serve_smoke -q
 
-all: test lint bench-smoke metrics-smoke serve-smoke
+ha-smoke:
+	$(PYTEST) tests/test_service_ha.py -m ha_smoke -q
+
+all: test lint bench-smoke metrics-smoke serve-smoke ha-smoke

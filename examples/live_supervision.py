@@ -1,4 +1,4 @@
-"""Live supervision of real processes: daemon, two children, one crash.
+"""Live supervision of real processes: daemon, two children, two crashes.
 
 The service layer moves the Software Watchdog out of the simulated
 kernel: ``python -m repro serve`` supervises real operating system
@@ -11,8 +11,15 @@ daemon plus two genuine child processes:
   simply stopping (no BYE — exactly what a crashed process looks like
   from the daemon's side).
 
-The daemon maps the dropped connection to missed heartbeats, the
-aliveness window lapses, and the detection is pushed to ``steady``.
+Act one: the daemon maps the dropped connection to missed heartbeats,
+the aliveness window lapses, and the detection is pushed to ``steady``.
+
+Act two crashes **the watchdog itself**: the daemon runs with
+``--state-dir``, so when it is SIGKILLed mid-stream a restart on the
+same port restores every registration from snapshot + journal,
+``steady``'s client reconnects through its ordinary backoff path, and
+``doomed``'s registration — restored ACTIVE, still silent — is
+re-detected by a daemon that was not even alive when the process died.
 
 Run:  PYTHONPATH=src python examples/live_supervision.py
 """
@@ -23,6 +30,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 import urllib.request
 
@@ -71,18 +79,24 @@ if watch:
 """
 
 
-def main() -> None:
-    env = dict(os.environ, PYTHONPATH=SRC)
+def spawn_daemon(env, state_dir, port):
     daemon = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--http-port", "0", "--tick-ms", "10"],
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--http-port", "0", "--tick-ms", "10",
+         "--state-dir", state_dir, "--snapshot-interval", "0.5"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
     banner = daemon.stdout.readline().strip()
     print(f"daemon: {banner}")
     match = re.search(r"tcp=[\d.]+:(\d+) http=([\d.]+:\d+)", banner)
-    port, http = int(match.group(1)), f"http://{match.group(2)}"
+    return daemon, int(match.group(1)), f"http://{match.group(2)}"
 
-    print("== spawn two real child processes ==")
+
+def main() -> None:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    state_dir = tempfile.mkdtemp(prefix="repro-state-")
+    daemon, port, http = spawn_daemon(env, state_dir, 0)
+
+    print("== act 1: spawn two real child processes ==")
     steady = subprocess.Popen(
         [sys.executable, "-c", CHILD.format(src=SRC),
          "steady", str(port), "250", "watch"], text=True, env=env)
@@ -92,11 +106,22 @@ def main() -> None:
 
     doomed.wait()
     print("== 'doomed' stopped heartbeating (no BYE) ==")
+
+    print("== act 2: kill -9 the watchdog daemon itself ==")
+    daemon.send_signal(signal.SIGKILL)
+    daemon.wait()
+    # Same port, same state directory: the restart restores both
+    # registrations from snapshot + journal.  'steady' reconnects and
+    # re-registers through its ordinary backoff path; 'doomed' is
+    # restored ACTIVE, stays silent, and gets re-detected by a daemon
+    # that was dead when the process crashed.
+    daemon, port, http = spawn_daemon(env, state_dir, port)
     steady.wait()
 
     health = json.loads(urllib.request.urlopen(http + "/healthz",
                                                timeout=5).read())
     print(f"daemon verdict: fleet={health['fleet_state']} "
+          f"restored={health['restored_registrations']} "
           f"detections={health['detections']} "
           f"indications={health['indications']}")
 

@@ -116,6 +116,39 @@ class SlotCounterArrays:
         for slot in range(len(self.ac)):
             self.reset_slot(slot)
 
+    def dump_state(self) -> Dict[str, List[int]]:
+        """Full JSON-compatible copy of every slot's counters and AS.
+
+        The inverse of :meth:`load_state`; together they make the counter
+        block persistable, so a restarted supervision daemon resumes the
+        exact monitoring windows a killed one was in.
+        """
+        return {
+            "ac": list(self.ac),
+            "arc": list(self.arc),
+            "cca": list(self.cca),
+            "ccar": list(self.ccar),
+            "active": [bool(a) for a in self.active],
+        }
+
+    def load_state(self, state: Dict[str, List[int]]) -> None:
+        """Overwrite every slot from a :meth:`dump_state` capture.
+
+        The slot layout (count and order) must match — restoring is only
+        defined onto a counter block built from the same hypothesis.
+        """
+        for key in ("ac", "arc", "cca", "ccar", "active"):
+            if len(state[key]) != len(self.ac):
+                raise ValueError(
+                    f"counter state has {len(state[key])} {key!r} slots, "
+                    f"this block has {len(self.ac)}"
+                )
+        self.ac[:] = [int(v) for v in state["ac"]]
+        self.arc[:] = [int(v) for v in state["arc"]]
+        self.cca[:] = [int(v) for v in state["cca"]]
+        self.ccar[:] = [int(v) for v in state["ccar"]]
+        self.active[:] = [bool(v) for v in state["active"]]
+
     def snapshot(self, slot: int, *, cca: Optional[int] = None,
                  ccar: Optional[int] = None) -> Dict[str, int]:
         """Counter values of one slot in the classic AC/ARC/CCA/CCAR/AS

@@ -243,6 +243,29 @@ class ProgramFlowCheckingUnit:
         """Forget every stream (watchdog restart)."""
         self._last.clear()
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-compatible checker state (daemon persistence): the
+        per-stream predecessors plus the tallies."""
+        return {
+            "last": dict(self._last),
+            "observation_count": self.observation_count,
+            "violation_count": self.violation_count,
+            "lookup_operations": self.lookup_operations,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a :meth:`snapshot_state` capture (the unit must
+        carry the same flow table and task attribution)."""
+        self._last = dict(state["last"])
+        self.observation_count = int(state["observation_count"])
+        self.violation_count = int(state["violation_count"])
+        self.lookup_operations = int(state["lookup_operations"])
+        # Post-restore telemetry deltas count from the restored tallies.
+        self._tm_synced = [
+            self.observation_count, self.lookup_operations,
+            self.violation_count,
+        ]
+
     # ------------------------------------------------------------------
     def observe(
         self, runnable: str, time: int, task: Optional[str] = None

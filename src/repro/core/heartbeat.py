@@ -380,6 +380,74 @@ class HeartbeatMonitoringUnit:
             ccar=self.cycle_count - self._arr_base[slot],
         )
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """Full JSON-compatible monitoring state (daemon persistence).
+
+        Captures everything :meth:`restore_state` needs to resume
+        monitoring bit-identically on a unit built from the same
+        hypothesis: cycle index, tallies, the counter block, and the
+        wheel's per-slot period bases and deadlines.  The wheel's bucket
+        map is *not* captured — it is derived state, rebuilt from the
+        deadline arrays on restore.
+        """
+        return {
+            "names": list(self.names),
+            "cycle_count": self.cycle_count,
+            "heartbeat_count": self.heartbeat_count,
+            "unknown_heartbeats": self.unknown_heartbeats,
+            "slots_visited": self.slots_visited,
+            "counter_resets": self.counter_resets,
+            "counters": self.counters.dump_state(),
+            "alive_base": list(self._alive_base),
+            "arr_base": list(self._arr_base),
+            "alive_due": list(self._alive_due),
+            "arr_due": list(self._arr_due),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a :meth:`snapshot_state` capture.
+
+        The unit must have been built from the same hypothesis (same
+        slot interning); future check cycles then behave exactly as they
+        would have on the captured instance.
+        """
+        if list(state["names"]) != self.names:
+            raise ValueError(
+                "snapshot slot layout does not match this unit's "
+                "hypothesis (runnable set or order differs)"
+            )
+        self.cycle_count = int(state["cycle_count"])
+        self.heartbeat_count = int(state["heartbeat_count"])
+        self.unknown_heartbeats = int(state["unknown_heartbeats"])
+        self.slots_visited = int(state["slots_visited"])
+        self.counter_resets = int(state["counter_resets"])
+        self.counters.load_state(state["counters"])
+        self._alive_base = [int(v) for v in state["alive_base"]]
+        self._arr_base = [int(v) for v in state["arr_base"]]
+        self._alive_due = [int(v) for v in state["alive_due"]]
+        self._arr_due = [int(v) for v in state["arr_due"]]
+        # Rebuild the wheels from the deadline arrays; bucket-internal
+        # order is irrelevant (due slots are judged in sorted slot
+        # order), so this reconstruction is behavior-identical.
+        self._alive_wheel.clear()
+        self._arr_wheel.clear()
+        for slot, deadline in enumerate(self._alive_due):
+            if deadline != _DISARMED:
+                self._alive_wheel.setdefault(deadline, []).append(slot)
+        for slot, deadline in enumerate(self._arr_due):
+            if deadline != _DISARMED:
+                self._arr_wheel.setdefault(deadline, []).append(slot)
+        # Telemetry: gauges reflect the restored AS flags; the sync marks
+        # move to the restored tallies so registry counters only grow by
+        # post-restore activity (a restarted daemon's exporters start
+        # fresh, they do not re-count the previous process's history).
+        self._tm_monitored.set(sum(1 for a in self.counters.active if a))
+        self._tm_synced = [
+            self.cycle_count, self.heartbeat_count, self.unknown_heartbeats,
+            self.slots_visited, self.counter_resets,
+        ]
+        self._tm_cycles_unsynced = 0
+
     def reset(self) -> None:
         """Reset every counter and the cycle count (watchdog restart).
 

@@ -234,6 +234,51 @@ class TaskStateIndicationUnit:
         if self._tm_enabled:
             self._tm_refresh_states(task)
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-compatible aggregation state (daemon persistence): the
+        error indication vectors, declared-faulty tasks, the error log,
+        lazily-learned attribution, and the last derived ECU state."""
+        return {
+            "error_vectors": {
+                task: {
+                    runnable: {et.value: count for et, count in per_type.items()}
+                    for runnable, per_type in vector.items()
+                }
+                for task, vector in self.error_vectors.items()
+            },
+            "faulty_tasks": {
+                task: event.to_dict()
+                for task, event in self.faulty_tasks.items()
+            },
+            "errors_recorded": self.errors_recorded,
+            "error_log": [error.to_dict() for error in self._error_log],
+            "task_of_runnable": dict(self.task_of_runnable),
+            "last_ecu_state": self._last_ecu_state.value,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a :meth:`snapshot_state` capture."""
+        self.error_vectors = {
+            task: {
+                runnable: {ErrorType(et): count for et, count in per_type.items()}
+                for runnable, per_type in vector.items()
+            }
+            for task, vector in state["error_vectors"].items()
+        }
+        self.faulty_tasks = {
+            task: TaskFaultEvent.from_dict(event)
+            for task, event in state["faulty_tasks"].items()
+        }
+        self.errors_recorded = int(state["errors_recorded"])
+        self._error_log = [
+            RunnableError.from_dict(error) for error in state["error_log"]
+        ]
+        self.task_of_runnable = dict(state["task_of_runnable"])
+        self._last_ecu_state = MonitorState(state["last_ecu_state"])
+        if self._tm_enabled:
+            for task in self._known_tasks():
+                self._tm_refresh_states(task)
+
     def reset(self) -> None:
         """Full reset (ECU software reset)."""
         self.error_vectors.clear()

@@ -281,6 +281,44 @@ class SoftwareWatchdog:
         self.history.capture(time, sample)
 
     # ------------------------------------------------------------------
+    # persistence (the daemon's snapshot/restore path)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Full JSON-compatible service state: every unit's monitoring
+        state plus the cumulative detection counters.
+
+        Restoring this capture onto a watchdog built from the same
+        hypothesis (same construction knobs) resumes supervision
+        bit-identically — the contract the restartable daemon's
+        differential tests pin.
+        """
+        return {
+            "check_cycle_count": self.check_cycle_count,
+            "detected": {et.value: n for et, n in self.detected.items()},
+            "detected_per_runnable": {
+                runnable: {et.value: n for et, n in per_type.items()}
+                for runnable, per_type in self.detected_per_runnable.items()
+            },
+            "hbm": self.hbm.snapshot_state(),
+            "pfc": self.pfc.snapshot_state(),
+            "tsi": self.tsi.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a :meth:`snapshot_state` capture."""
+        self.check_cycle_count = int(state["check_cycle_count"])
+        self.detected = {
+            et: int(state["detected"].get(et.value, 0)) for et in ErrorType
+        }
+        self.detected_per_runnable = {
+            runnable: {ErrorType(et): n for et, n in per_type.items()}
+            for runnable, per_type in state["detected_per_runnable"].items()
+        }
+        self.hbm.restore_state(state["hbm"])
+        self.pfc.restore_state(state["pfc"])
+        self.tsi.restore_state(state["tsi"])
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Full service reset (ECU software reset)."""
         self.hbm.reset()

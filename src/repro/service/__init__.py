@@ -20,7 +20,11 @@ with and heartbeat into over a socket.
   HTTP ``/metrics`` + ``/healthz`` endpoint,
 * :mod:`repro.service.client` — :class:`WatchdogClient`, the glue-code
   SDK (indication batching, reconnect with exponential backoff plus
-  jitter, bounded offline buffer).
+  jitter, bounded offline buffer, failover address rotation),
+* :mod:`repro.service.persistence` — the daemon's crash memory:
+  atomic point-in-time snapshots plus an append-only journal of
+  state-changing frames, with crash-truncation-tolerant replay and a
+  :class:`JournalFollower` for warm-standby failover.
 
 The daemon is the ``python -m repro serve`` subcommand; a differential
 test pins the service path to the in-process path: the same indication
@@ -30,6 +34,12 @@ calls produces identical detections and task-state rollups.
 
 from .client import ClientError, RegistrationRejected, WatchdogClient
 from .fleet import Fleet
+from .persistence import (
+    JournalFollower,
+    RestoredState,
+    SNAPSHOT_SCHEMA_VERSION,
+    StateStore,
+)
 from .protocol import (
     FatalProtocolError,
     Frame,
@@ -53,10 +63,14 @@ __all__ = [
     "Fleet",
     "Frame",
     "FrameDecoder",
+    "JournalFollower",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "Registration",
+    "RestoredState",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "StateStore",
     "RegistrationError",
     "RegistrationRejected",
     "SupervisionServer",

@@ -45,9 +45,43 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="stream structured telemetry events to this "
                              "JSONL file (flushed every 64 events)")
+    parser.add_argument("--state-dir", metavar="DIR", default=None,
+                        help="durable state directory: snapshots + journal "
+                             "are written here and restored on restart, so "
+                             "the daemon survives its own death")
+    parser.add_argument("--snapshot-interval", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="seconds between state snapshots (with "
+                             "--state-dir; 0 disables periodic snapshots, "
+                             "journal + shutdown snapshot remain)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every journal append (survives host "
+                             "crashes, not just process crashes)")
+    parser.add_argument("--standby", action="store_true",
+                        help="warm standby: tail the primary's --state-dir "
+                             "and bind the listeners only after the primary "
+                             "dies (clients reach it via their failover "
+                             "address list)")
     parser.add_argument("--run-seconds", type=float, default=None,
                         help="exit after this many seconds (smoke tests; "
                              "default: run until SIGTERM/SIGINT)")
+
+
+def _banner(server, args: argparse.Namespace, *, verb: str) -> str:
+    endpoints = []
+    if server.port is not None:
+        endpoints.append(f"tcp={server.host}:{server.port}")
+    if server.unix_path is not None:
+        endpoints.append(f"unix={server.unix_path}")
+    if server.http_port is not None:
+        endpoints.append(f"http={server.host}:{server.http_port}")
+    line = (f"{server.name} {verb} {' '.join(endpoints)} "
+            f"shards={len(server.fleet.shards)} strict={args.strict} "
+            f"tick_ms={args.tick_ms:g}")
+    if server.store is not None:
+        line += (f" state_dir={server.store.state_dir}"
+                 f" restored={server.restored_registrations}")
+    return line
 
 
 def run_serve(args: argparse.Namespace) -> int:
@@ -73,6 +107,8 @@ async def _serve(
     sink = None
     if args.telemetry:
         sink = JsonlFileSink(args.telemetry, flush_every=64)
+    state_dir = getattr(args, "state_dir", None)
+    snapshot_interval = getattr(args, "snapshot_interval", 5.0)
     server = SupervisionServer(
         host=args.host,
         port=port,
@@ -83,20 +119,17 @@ async def _serve(
         tick_interval=args.tick_ms / 1000.0,
         queue_limit=args.queue_limit,
         event_sink=sink,
+        state_dir=state_dir,
+        snapshot_interval=(snapshot_interval if state_dir
+                           and snapshot_interval > 0 else None),
+        fsync=getattr(args, "fsync", False),
+        standby=getattr(args, "standby", False),
+        on_promote=lambda srv: print(
+            _banner(srv, args, verb="promoted listening"), flush=True),
     )
-    await server.start()
-
-    endpoints = []
-    if server.port is not None:
-        endpoints.append(f"tcp={server.host}:{server.port}")
-    if server.unix_path is not None:
-        endpoints.append(f"unix={server.unix_path}")
-    if server.http_port is not None:
-        endpoints.append(f"http={server.host}:{server.http_port}")
-    print(f"{server.name} listening {' '.join(endpoints)} "
-          f"shards={len(server.fleet.shards)} strict={args.strict} "
-          f"tick_ms={args.tick_ms:g}", flush=True)
-
+    # Handlers go in before the banner: a supervisor that SIGTERMs the
+    # daemon the instant it prints must still get the clean-stop path
+    # (final snapshot + shutdown stats), not the default kill.
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -104,6 +137,15 @@ async def _serve(
             loop.add_signal_handler(signum, stop.set)
         except NotImplementedError:  # pragma: no cover - non-POSIX loops
             pass
+
+    await server.start()
+
+    if server.standby:
+        print(f"{server.name} standby state_dir={server.store.state_dir} "
+              f"restored={server.restored_registrations}", flush=True)
+    else:
+        print(_banner(server, args, verb="listening"), flush=True)
+
     try:
         if args.run_seconds is not None:
             try:

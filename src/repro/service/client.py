@@ -76,13 +76,19 @@ class WatchdogClient:
     """Synchronous SDK for one supervised process.
 
     ``address`` is ``(host, port)`` for TCP or a filesystem path string
-    for a UNIX socket.
+    for a UNIX socket.  ``failover`` lists further addresses (typically
+    the warm standby's) tried in order whenever the current one refuses;
+    the client sticks with whichever address last worked, and the
+    ordinary reconnect path — replay HELLO, re-REGISTER everything —
+    runs identically after a failover, so a promoted standby receives
+    the same rebind a restarted primary would.
     """
 
     def __init__(
         self,
         address: Address,
         *,
+        failover: Tuple[Address, ...] = (),
         client_name: str = "glue",
         watch: bool = False,
         batch_size: int = 64,
@@ -100,7 +106,8 @@ class WatchdogClient:
     ) -> None:
         if batch_size < 1 or buffer_limit < 1:
             raise ValueError("batch_size and buffer_limit must be >= 1")
-        self.address = address
+        self.addresses: List[Address] = [address, *failover]
+        self._addr_index = 0
         self.client_name = client_name
         #: Subscribe to every DETECTION the daemon raises (monitoring
         #: clients) instead of only those about own registrations.
@@ -155,14 +162,37 @@ class WatchdogClient:
             self._drop_connection()
             raise
 
+    @property
+    def address(self) -> Address:
+        """The address currently (or last successfully) in use."""
+        return self.addresses[self._addr_index]
+
     def _open_socket(self) -> socket.socket:
-        if isinstance(self.address, str):
+        """Connect to the first reachable address, starting from the one
+        that last worked (sticky) and rotating through the failover
+        list; raises the final error when every address refuses."""
+        last_exc: Optional[Exception] = None
+        for offset in range(len(self.addresses)):
+            index = (self._addr_index + offset) % len(self.addresses)
+            try:
+                sock = self._connect_address(self.addresses[index])
+            except OSError as exc:
+                last_exc = exc
+                continue
+            self._addr_index = index
+            return sock
+        assert last_exc is not None
+        raise last_exc
+
+    def _connect_address(self, address: Address) -> socket.socket:
+        if isinstance(address, str):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self.timeout)
-            sock.connect(self.address)
+            sock.connect(address)
         else:
-            host, port = self.address
-            sock = socket.create_connection((host, port), timeout=self.timeout)
+            host, port = address
+            sock = socket.create_connection((host, port),
+                                            timeout=self.timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return sock
 
@@ -183,9 +213,13 @@ class WatchdogClient:
         if self.closed or not self.reconnect_enabled:
             return False
         for attempt in range(self.max_retries):
-            delay = min(self.backoff_max,
-                        self.backoff_initial * (2 ** attempt))
+            # Jitter before clamping: applying it after would let the
+            # sleep exceed backoff_max by up to the jitter factor, and
+            # backoff_max is a promise about the worst-case gap between
+            # reconnect attempts (the detection-latency budget).
+            delay = self.backoff_initial * (2 ** attempt)
             delay *= 1.0 + self.backoff_jitter * self._rng.random()
+            delay = min(self.backoff_max, delay)
             self._sleep(delay)
             try:
                 self.connect()

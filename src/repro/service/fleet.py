@@ -182,6 +182,54 @@ class Fleet:
             listener(change)
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Full JSON-compatible fleet state: every shard's snapshot plus
+        the routing table, round-robin cursor and rollup history."""
+        return {
+            "shards": [shard.snapshot() for shard in self.shards],
+            "shard_of": {
+                name: shard.index for name, shard in self._shard_of.items()
+            },
+            "next_shard": self._next_shard,
+            "state": self.state.value,
+            "state_changes": [
+                change.to_dict() for change in self.state_changes
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild the fleet from a :meth:`snapshot` capture.
+
+        The shard count must match the captured one — the state
+        directory pins the daemon's ``--shards`` topology, because
+        registrations were placed (and their indications routed) by
+        shard index.  The fleet must be empty.
+        """
+        if self._shard_of:
+            raise ValueError("restore() needs an empty fleet")
+        captured = state["shards"]
+        if len(captured) != len(self.shards):
+            raise ValueError(
+                f"snapshot was taken with {len(captured)} shards, this "
+                f"daemon runs {len(self.shards)} — restart with the "
+                "original --shards value"
+            )
+        for shard, shard_state in zip(self.shards, captured):
+            shard.restore(shard_state)
+        self._shard_of = {
+            name: self.shards[index]
+            for name, index in state["shard_of"].items()
+        }
+        self._next_shard = int(state["next_shard"]) % len(self.shards)
+        self.state = MonitorState(state["state"])
+        self.state_changes = [
+            EcuStateChange.from_dict(change)
+            for change in state["state_changes"]
+        ]
+
+    # ------------------------------------------------------------------
     # push channels
     # ------------------------------------------------------------------
     def add_detection_listener(

@@ -36,8 +36,16 @@ import time as _time
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from ..core.reports import EcuStateChange, RunnableError, TaskFaultEvent
-from ..telemetry import MetricsRegistry, NULL_SINK
+from ..telemetry import MetricsRegistry, NULL_SINK, TelemetryEvent
 from .fleet import Fleet
+from .persistence import (
+    JOURNAL_ACTIVATION,
+    JOURNAL_BYE,
+    JOURNAL_REGISTER,
+    JournalFollower,
+    RestoredState,
+    StateStore,
+)
 from .protocol import (
     FatalProtocolError,
     Frame,
@@ -91,7 +99,10 @@ class _DropOldestQueue:
         if len(self._items) >= self._limit:
             self._items.popleft()
             self.dropped += 1
-            self._unfinished -= 1
+            # Eviction consumes the evicted item's join() obligation —
+            # routed through the same accounting as task_done() so the
+            # idle event can never be left unset by an eviction path.
+            self._mark_done()
             evicted = 1
         self._items.append(item)
         self._unfinished += 1
@@ -106,6 +117,9 @@ class _DropOldestQueue:
         return self._items.popleft()
 
     def task_done(self) -> None:
+        self._mark_done()
+
+    def _mark_done(self) -> None:
         self._unfinished -= 1
         if self._unfinished <= 0:
             self._idle.set()
@@ -150,9 +164,20 @@ class SupervisionServer:
         telemetry: Optional[MetricsRegistry] = None,
         event_sink=None,
         name: str = "repro-supervisord",
+        state_dir: Optional[str] = None,
+        snapshot_interval: Optional[float] = 5.0,
+        fsync: bool = False,
+        standby: bool = False,
+        standby_poll: float = 0.25,
+        on_promote=None,
     ) -> None:
         if port is None and unix_path is None:
             raise ValueError("need a TCP port and/or a UNIX socket path")
+        if standby and state_dir is None:
+            raise ValueError("--standby needs --state-dir (the journal it "
+                             "tails is the primary's state directory)")
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive or None")
         self.name = name
         self.host = host
         self.port = port
@@ -161,6 +186,7 @@ class SupervisionServer:
         self.tick_interval = tick_interval
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         self.event_sink = event_sink if event_sink is not None else NULL_SINK
+        self._strict = strict
         self.fleet = Fleet(
             shards,
             strict=strict,
@@ -181,6 +207,21 @@ class SupervisionServer:
         self._t0: float = 0.0
         self.missed_ticks = 0
         self.pushes_dropped = 0
+        self.handler_errors = 0
+
+        # --- durable state (the restartable daemon) ---
+        self.snapshot_interval = snapshot_interval
+        self.standby = standby
+        self.standby_poll = standby_poll
+        self.store: Optional[StateStore] = (
+            StateStore(state_dir, fsync=fsync) if state_dir is not None
+            else None
+        )
+        self.restored_registrations = 0
+        self.promoted = False
+        self._on_promote = on_promote
+        self._follower: Optional[JournalFollower] = None
+        self._lock_owned = False
 
         tm = self.telemetry
         self._tm_frames: Dict[str, Any] = {}
@@ -216,6 +257,20 @@ class SupervisionServer:
         self._tm_pushes_dropped = tm.counter(
             "service_pushes_dropped_total",
             "DETECTION/STATE pushes dropped because no client was bound")
+        self._tm_handler_errors = tm.counter(
+            "service_handler_errors_total",
+            "Indications whose shard handler raised (isolated, drain "
+            "continues)")
+        self._tm_journal_records = tm.counter(
+            "service_journal_records_total",
+            "State-changing frames appended to the durable journal")
+        self._tm_snapshots = tm.counter(
+            "service_snapshots_total",
+            "Point-in-time state snapshots written to the state dir")
+        self._tm_rebinds = tm.counter(
+            "service_register_rebinds_total",
+            "REGISTERs that rebound an existing registration (reconnect "
+            "replay) instead of creating one")
 
         self.fleet.add_detection_listener(self._push_detection)
         self.fleet.add_task_fault_listener(self._push_task_fault)
@@ -225,10 +280,36 @@ class SupervisionServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind listeners, start the shard drains and the ticker."""
+        """Restore durable state if any, then bind listeners and run.
+
+        With ``standby=True`` no listener is bound: the daemon adopts
+        whatever is already in the state directory, then tails the
+        primary's snapshot/journal until the primary dies and
+        :meth:`promote` turns it into a full server.  A connecting
+        client sees connection-refused until promotion — exactly the
+        signal that drives its failover address rotation.
+        """
         loop = asyncio.get_running_loop()
         self._loop = loop
         self._t0 = loop.time()
+        if self.store is not None:
+            restored = self.store.load()
+            self._apply_restored(restored)
+            if self.standby:
+                self._follower = JournalFollower(self.store)
+                self._follower.prime(restored.seq)
+                self._tasks.append(loop.create_task(self._standby_loop()))
+                self._started = True
+                return
+            self.store.write_lock(name=self.name, role="primary")
+            self._lock_owned = True
+        await self._bind_and_run()
+        self._started = True
+
+    async def _bind_and_run(self) -> None:
+        """Bind listeners, start the shard drains, ticker and snapshots
+        (the active-server half of startup, deferred in standby mode)."""
+        loop = asyncio.get_running_loop()
         if self.port is not None:
             server = await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.port
@@ -252,10 +333,17 @@ class SupervisionServer:
             )
         if self.tick_interval is not None:
             self._tasks.append(loop.create_task(self._ticker()))
-        self._started = True
+        if self.store is not None and self.snapshot_interval is not None:
+            self._tasks.append(loop.create_task(self._snapshot_loop()))
 
-    async def stop(self) -> None:
-        """Shut down cleanly: no task left pending, sockets unlinked."""
+    async def stop(self, *, save: Optional[bool] = None) -> None:
+        """Shut down cleanly: no task left pending, sockets unlinked.
+
+        With a state directory, a final snapshot is written by default
+        (``save=False`` suppresses it — the crash-simulation path tests
+        use) and the primary lock is cleared so a standby can tell a
+        clean shutdown from a crash.
+        """
         self._stopping = True
         for server in self._servers:
             server.close()
@@ -273,6 +361,14 @@ class SupervisionServer:
                 os.unlink(self.unix_path)
             except OSError:
                 pass
+        if self.store is not None:
+            if save is None:
+                save = not (self.standby and not self.promoted)
+            if save:
+                self.write_snapshot()
+            if self._lock_owned:
+                self.store.clear_lock()
+            self.store.close()
 
     async def drain(self) -> None:
         """Wait until every queued indication has been applied."""
@@ -321,6 +417,12 @@ class SupervisionServer:
                     shard.heartbeat(item[1], item[2], item[3], item[4])
                 else:
                     shard.task_start(item[1], item[2])
+            except Exception:
+                # One poisoned indication must not kill the drain task —
+                # a dead drain leaves the queue unconsumed forever and
+                # hangs every later join()/drain().  Count and continue.
+                self.handler_errors += 1
+                self._tm_handler_errors.inc()
             finally:
                 queue.task_done()
             # queue.get() is synchronous while items are queued; yield
@@ -328,6 +430,145 @@ class SupervisionServer:
             processed += 1
             if processed % _DRAIN_YIELD_EVERY == 0:
                 await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # durable state: restore, journal, snapshots, warm standby
+    # ------------------------------------------------------------------
+    def _apply_restored(self, restored: RestoredState) -> None:
+        """Rebuild the fleet from disk: snapshot first, then every
+        journal record beyond it, in sequence order."""
+        if restored.empty:
+            return
+        if restored.snapshot is not None:
+            self.fleet.restore(restored.snapshot["fleet"])
+        for event in restored.entries:
+            self._apply_journal_entry(event)
+        self._hook_restored()
+
+    def _apply_journal_entry(self, event: TelemetryEvent) -> None:
+        """Re-apply one journaled control-plane frame.
+
+        Replay is deterministic because the snapshot restores the
+        round-robin cursor: a replayed REGISTER lands on the same shard
+        it did live.  Unknown kinds are ignored (forward compatibility,
+        like telemetry consumers)."""
+        if event.kind == JOURNAL_REGISTER:
+            try:
+                self.fleet.register(
+                    event.subject, event.data["hypothesis"],
+                    app_of_task=event.data.get("app_of_task"),
+                )
+            except RegistrationError:
+                # Journaled only after live acceptance; a replay
+                # conflict means the record is already covered.
+                pass
+        elif event.kind == JOURNAL_BYE:
+            if self.fleet.shard_for(event.subject) is not None:
+                self.fleet.deregister(event.subject)
+        elif event.kind == JOURNAL_ACTIVATION:
+            registration = self.fleet.registration(event.subject)
+            if registration is not None:
+                if event.data.get("active", True):
+                    registration.reactivate()
+                else:
+                    registration.deactivate()
+
+    def _hook_restored(self) -> None:
+        """Wire push-channel listeners for every restored registration
+        (what :meth:`_handle_register` does for live ones) and refresh
+        the restore bookkeeping."""
+        for name, registration in self.fleet.registrations.items():
+            self._hook_registration(name, registration)
+        self.restored_registrations = len(self.fleet.registrations)
+        self._tm_registrations.set(len(self.fleet.registrations))
+
+    def _journal(self, kind: str, subject: str, **data: Any) -> None:
+        if self.store is None:
+            return
+        self.store.append(kind, subject, **data)
+        self._tm_journal_records.inc()
+
+    def write_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Write a point-in-time snapshot now (the periodic loop's body;
+        also the final act of a clean :meth:`stop`)."""
+        if self.store is None:
+            return None
+        payload = self.store.write_snapshot(
+            self.fleet.snapshot(), name=self.name
+        )
+        self._tm_snapshots.inc()
+        return payload
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            self.write_snapshot()
+
+    def _rebuild_fleet(self) -> None:
+        """Replace the fleet with an empty, fully re-wired one (the
+        standby adopting a newer snapshot: counter state in the snapshot
+        supersedes everything, so incremental patching is wrong)."""
+        self.fleet = Fleet(
+            len(self.fleet.shards),
+            strict=self._strict,
+            telemetry=self.telemetry,
+            event_sink=self.event_sink,
+        )
+        self.fleet.add_detection_listener(self._push_detection)
+        self.fleet.add_task_fault_listener(self._push_task_fault)
+        self.fleet.add_fleet_state_listener(self._push_fleet_state)
+        self._state_hooked.clear()
+
+    async def _standby_loop(self) -> None:
+        """Tail the primary's state dir; promote when the primary dies.
+
+        Death is either a provably-dead advertised PID (stale lock after
+        kill -9) or a lock that vanished after we saw the primary alive
+        (clean shutdown without a restart).  A standby started against a
+        state dir that never had a primary keeps waiting — promotion on
+        an empty dir would split-brain a slow-starting primary."""
+        seen_alive = False
+        while True:
+            if self.promoted:
+                return
+            snapshot, entries = self._follower.poll()
+            if snapshot is not None:
+                self._rebuild_fleet()
+                self.fleet.restore(snapshot["fleet"])
+                self._hook_restored()
+            for event in entries:
+                self._apply_journal_entry(event)
+            if entries:
+                self._hook_restored()
+            alive = self.store.primary_alive()
+            if alive is True:
+                seen_alive = True
+            elif alive is False or seen_alive:
+                await self.promote()
+                return
+            await asyncio.sleep(self.standby_poll)
+
+    async def promote(self) -> None:
+        """Turn a standby into the live server: final journal catch-up,
+        take the primary lock, bind listeners, start drains/ticker/
+        snapshots.  Idempotent; a no-op on a non-standby server."""
+        if self.promoted or not self.standby:
+            return
+        if self._follower is not None:
+            snapshot, entries = self._follower.poll()
+            if snapshot is not None:
+                self._rebuild_fleet()
+                self.fleet.restore(snapshot["fleet"])
+            for event in entries:
+                self._apply_journal_entry(event)
+            self._hook_restored()
+        self.promoted = True
+        self.standby = False
+        self.store.write_lock(name=self.name, role="promoted-standby")
+        self._lock_owned = True
+        await self._bind_and_run()
+        if self._on_promote is not None:
+            self._on_promote(self)
 
     # ------------------------------------------------------------------
     # wire protocol connections
@@ -395,6 +636,7 @@ class SupervisionServer:
         elif frame.type == T_BYE:
             for name in sorted(conn.registrations):
                 self.fleet.deregister(name)
+                self._journal(JOURNAL_BYE, name)
             conn.said_bye = True
             self._send(conn, T_ACK, ok=True, re=T_BYE)
         else:  # a server-only type sent by a client
@@ -419,12 +661,7 @@ class SupervisionServer:
             self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
                        error="'app_of_task' must be an object")
             return
-        bound = self._conn_of.get(name)
-        if bound is not None and not bound.closed and bound is not conn:
-            self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
-                       error=f"registration {name!r} is bound to a live "
-                             "connection")
-            return
+        rebound = self.fleet.registration(name) is not None
         try:
             registration = self.fleet.register(
                 name, hypothesis, app_of_task=app_of_task
@@ -433,19 +670,44 @@ class SupervisionServer:
             self._send(conn, T_ACK, ok=False, re=T_REGISTER, name=name,
                        error=str(exc), lint=exc.reasons)
             return
+        bound = self._conn_of.get(name)
+        if bound is not None and bound is not conn:
+            # A reconnecting client replays REGISTER before the server
+            # has noticed the old connection die (half-open TCP).  The
+            # shard already vetted the hypothesis as identical, so this
+            # is the same client back — the new connection takes over
+            # and the stale binding is dropped, not an error.
+            bound.registrations.discard(name)
         registration.connected = True
         conn.registrations.add(name)
         self._conn_of[name] = conn
         self._tm_registrations.set(len(self.fleet.registrations))
-        if name not in self._state_hooked:
-            self._state_hooked.add(name)
-            registration.watchdog.tsi.add_ecu_state_listener(
-                lambda change, _name=name: self._push_ecu_state(_name, change)
+        self._hook_registration(name, registration)
+        if rebound:
+            self._tm_rebinds.inc()
+            self._journal(JOURNAL_ACTIVATION, name, active=True)
+        else:
+            self._journal(
+                JOURNAL_REGISTER, name,
+                hypothesis=dict(registration.hypothesis_dict),
+                app_of_task=(
+                    dict(app_of_task) if app_of_task is not None else None
+                ),
             )
         self._send(
             conn, T_ACK, ok=True, re=T_REGISTER, name=name,
-            shard=registration.shard_index,
+            shard=registration.shard_index, rebound=rebound,
             lint=list(registration.lint_diagnostics),
+        )
+
+    def _hook_registration(self, name: str, registration) -> None:
+        """Subscribe the push channel to one registration's ECU state
+        transitions (once per registration, survives rebinds)."""
+        if name in self._state_hooked:
+            return
+        self._state_hooked.add(name)
+        registration.watchdog.tsi.add_ecu_state_listener(
+            lambda change, _name=name: self._push_ecu_state(_name, change)
         )
 
     def _handle_indications(
@@ -582,7 +844,17 @@ class SupervisionServer:
             queued=sum(len(queue) for queue in self._queues),
             dropped=sum(queue.dropped for queue in self._queues),
             missed_ticks=self.missed_ticks,
+            handler_errors=self.handler_errors,
+            role=("standby" if self.standby
+                  else "promoted" if self.promoted else "primary"),
         )
+        if self.store is not None:
+            stats.update(
+                state_dir=self.store.state_dir,
+                journal_seq=self.store.seq,
+                snapshots_written=self.store.snapshots_written,
+                restored_registrations=self.restored_registrations,
+            )
         return stats
 
     async def _handle_http(

@@ -83,6 +83,9 @@ class Registration:
     hypothesis: FaultHypothesis
     hypothesis_dict: Dict[str, Any]
     watchdog: SoftwareWatchdog
+    #: The runnable→task application mapping submitted with REGISTER
+    #: (kept so the registration can be journaled and rebuilt verbatim).
+    app_of_task: Optional[Dict[str, str]] = None
     lint_diagnostics: List[str] = field(default_factory=list)
     #: False after a graceful BYE (monitoring deactivated, state kept).
     active: bool = True
@@ -175,6 +178,7 @@ class SupervisorShard:
                 telemetry=self.telemetry,
                 event_sink=self.event_sink,
             ),
+            app_of_task=dict(app_of_task) if app_of_task is not None else None,
             lint_diagnostics=diagnostics,
         )
         registration.watchdog.add_fault_listener(
@@ -239,6 +243,65 @@ class SupervisorShard:
             for error in entry.watchdog.check_cycle(time):
                 errors.append((entry.name, error))
         return errors
+
+    # ------------------------------------------------------------------
+    # persistence (the restartable daemon's snapshot/restore pair)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Full JSON-compatible shard state: every registration's
+        hypothesis, bookkeeping counters, and its watchdog's complete
+        monitoring state (:meth:`SoftwareWatchdog.snapshot_state`)."""
+        return {
+            "index": self.index,
+            "processed": self.processed,
+            "tick_count": self.tick_count,
+            "registrations": [
+                {
+                    "name": entry.name,
+                    "hypothesis": dict(entry.hypothesis_dict),
+                    "app_of_task": (
+                        dict(entry.app_of_task)
+                        if entry.app_of_task is not None else None
+                    ),
+                    "active": entry.active,
+                    "indications": entry.indications,
+                    "task_starts": entry.task_starts,
+                    "detections": entry.detections,
+                    "watchdog": entry.watchdog.snapshot_state(),
+                }
+                for entry in self.registrations.values()
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild every registration from a :meth:`snapshot` capture.
+
+        Each registration is re-admitted through :meth:`register` (so
+        listeners are wired exactly like a live REGISTER would) and then
+        its watchdog state is overwritten with the captured one —
+        including counters mid-window, declared-faulty tasks and the
+        wheel deadlines — so supervision resumes where the dead daemon
+        left off.  The shard must be empty.
+        """
+        if self.registrations:
+            raise ValueError("restore() needs an empty shard")
+        self.processed = int(state["processed"])
+        self.tick_count = int(state["tick_count"])
+        for record in state["registrations"]:
+            entry = self.register(
+                record["name"],
+                record["hypothesis"],
+                app_of_task=record["app_of_task"],
+            )
+            entry.watchdog.restore_state(record["watchdog"])
+            # The Activation Status flags came back with the counter
+            # block; only the bookkeeping flag needs setting (calling
+            # deactivate() here would wrongly re-zero the counters).
+            entry.active = bool(record["active"])
+            entry.connected = False
+            entry.indications = int(record["indications"])
+            entry.task_starts = int(record["task_starts"])
+            entry.detections = int(record["detections"])
 
     # ------------------------------------------------------------------
     # rollups and listeners

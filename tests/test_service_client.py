@@ -248,8 +248,26 @@ class TestReconnect:
             backoff_initial=0.1, backoff_max=0.5, backoff_jitter=0.25,
             rng=FixedRng(), sleep=sleeps.append)
         assert client._reconnect() is False
-        expected = [min(0.5, 0.1 * 2 ** n) * 1.25 for n in range(4)]
+        # Jitter applies to the raw exponential delay, THEN the clamp:
+        # backoff_max bounds the actual sleep, jitter included.
+        expected = [min(0.5, (0.1 * 2 ** n) * 1.25) for n in range(4)]
         assert sleeps == pytest.approx(expected)
+
+    def test_backoff_max_bounds_sleep_even_with_jitter(self):
+        """Regression: jitter used to be applied after the clamp, letting
+        the sleep exceed backoff_max by up to the jitter factor."""
+        sleeps = []
+
+        class FixedRng:
+            def random(self):
+                return 1.0
+
+        client = WatchdogClient(
+            ("127.0.0.1", 1), reconnect=True, max_retries=8,
+            backoff_initial=0.1, backoff_max=0.5, backoff_jitter=0.25,
+            rng=FixedRng(), sleep=sleeps.append)
+        assert client._reconnect() is False
+        assert max(sleeps) <= 0.5
 
     def test_reconnect_reregisters_and_counts(self, daemon):
         client = WatchdogClient(
@@ -272,6 +290,74 @@ class TestReconnect:
             ("127.0.0.1", 1), reconnect=False, sleep=sleeps.append)
         assert client._reconnect() is False
         assert sleeps == []
+
+
+def dead_address():
+    """A loopback port that was just free — connecting refuses."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    address = sock.getsockname()
+    sock.close()
+    return address
+
+
+class TestFailover:
+    def test_connect_rotates_to_first_reachable_address(self, daemon):
+        client = WatchdogClient(
+            dead_address(), failover=(daemon.address,), client_name="ha")
+        client.connect()
+        assert client.address == daemon.address
+        assert len(daemon.frames_of(T_HELLO)) == 1
+        client.close(say_bye=False)
+
+    def test_failover_address_is_sticky(self, daemon):
+        client = WatchdogClient(
+            dead_address(), failover=(daemon.address,), client_name="ha")
+        client.connect()
+        client._drop_connection()
+        # The next connection goes straight to the address that worked,
+        # not back through the dead primary.
+        assert client._ensure_connection()
+        assert client.address == daemon.address
+        assert daemon.connections == 2
+        client.close(say_bye=False)
+
+    def test_failover_replays_registrations_on_standby(self):
+        primary = FakeDaemon()
+        standby = FakeDaemon()
+        try:
+            client = WatchdogClient(
+                primary.address, failover=(standby.address,),
+                client_name="ha", backoff_initial=0.001,
+                backoff_max=0.002, backoff_jitter=0.0)
+            client.connect()
+            client.register("p", make_hyp_dict())
+            assert len(primary.frames_of(T_REGISTER)) == 1
+            assert standby.frames_of(T_REGISTER) == []
+            # The primary dies; the buffered indication forces a flush,
+            # which reconnects via the failover list and replays
+            # HELLO + REGISTER onto the standby.
+            primary.close()
+            client._drop_connection()
+            client.heartbeat("sense", 1, "T")
+            assert client.flush() is True
+            assert client.address == standby.address
+            # sync() round-trips a HELLO: frames dispatch in order per
+            # connection, so once it returns the fire-and-forget
+            # HEARTBEAT frame has been read by the standby too.
+            assert client.sync() is True
+            assert len(standby.frames_of(T_REGISTER)) == 1
+            assert len(standby.frames_of(T_HEARTBEAT)) == 1
+            client.close(say_bye=False)
+        finally:
+            primary.close()
+            standby.close()
+
+    def test_all_addresses_down_raises_last_error(self):
+        client = WatchdogClient(
+            dead_address(), failover=(dead_address(),), reconnect=False)
+        with pytest.raises(OSError):
+            client.connect()
 
 
 class TestPushes:

@@ -178,3 +178,88 @@ class TestDifferential:
         for direct_error, service_error in zip(
                 direct["detections"], service["d."]["detections"]):
             assert direct_error.details == service_error.details
+
+
+async def run_service_crash(name, state_dir, crash_after_ticks):
+    """Apply the script through a daemon that is killed mid-script and
+    restored from its state directory — the differential proof that a
+    restored daemon equals one that never died."""
+    loop = asyncio.get_running_loop()
+    detections = []
+    hook = lambda _name, error: detections.append(error)
+
+    def make_server():
+        return SupervisionServer(
+            port=0, shards=1, tick_interval=None,
+            state_dir=state_dir, snapshot_interval=None)
+
+    server = make_server()
+    await server.start()
+    server.fleet.add_detection_listener(hook)
+
+    def setup(port):
+        client = WatchdogClient(("127.0.0.1", port), client_name=name,
+                                batch_size=7)
+        client.connect()
+        client.register(name, hypothesis_to_dict(make_hypothesis(name)))
+        return client
+
+    client = await loop.run_in_executor(None, setup, server.port)
+    ticks = 0
+    try:
+        for step in make_script(name):
+            if step[0] == "hb":
+                await loop.run_in_executor(
+                    None, client.heartbeat, step[1], step[2], step[3])
+            elif step[0] == "task_start":
+                await loop.run_in_executor(
+                    None, client.task_start, step[1], step[2])
+            else:
+                assert await loop.run_in_executor(None, client.sync)
+                await server.drain()
+                server.tick(step[1])
+                ticks += 1
+                if ticks == crash_after_ticks:
+                    # Crash: snapshot happens to be fresh (the periodic
+                    # loop's job in production), then the process dies
+                    # without any farewell to its clients.
+                    server.write_snapshot()
+                    pre_crash = server.fleet.snapshot()
+                    await server.stop(save=False)
+                    await loop.run_in_executor(
+                        None, client._drop_connection)
+                    server = make_server()
+                    await server.start()
+                    # Bit-identical restore: the whole fleet state —
+                    # counters mid-window, wheel deadlines, declared
+                    # faults, bookkeeping — survives the death.
+                    assert server.fleet.snapshot() == pre_crash
+                    server.fleet.add_detection_listener(hook)
+                    await loop.run_in_executor(None, client.close)
+                    client = await loop.run_in_executor(
+                        None, setup, server.port)
+        registration = server.fleet.registration(name)
+        result = {
+            "detections": detections,
+            **snapshot(registration.watchdog, registration.hypothesis),
+        }
+        await loop.run_in_executor(None, client.close)
+        return result
+    finally:
+        await server.stop(save=False)
+
+
+class TestCrashRecoveryDifferential:
+    def test_restored_daemon_equals_one_that_never_died(self, tmp_path):
+        """kill mid-crash-window, restore, finish the script: detections
+        and final states must equal the uninterrupted direct run."""
+        direct = run_direct("c.")
+        service = asyncio.run(
+            run_service_crash("c.", str(tmp_path), crash_after_ticks=7))
+        assert_identical(direct, service)
+
+    def test_crash_in_healthy_phase_also_identical(self, tmp_path):
+        direct = run_direct("h.")
+        service = asyncio.run(
+            run_service_crash("h.", str(tmp_path), crash_after_ticks=3))
+        assert_identical(direct, service)

@@ -167,17 +167,50 @@ class TestWireServer:
             await server.stop()
         asyncio.run(scenario())
 
-    def test_registration_bound_to_live_connection_not_stealable(self):
+    def test_duplicate_register_takes_over_idempotently(self):
+        """Regression: a reconnecting client replays REGISTER before the
+        server notices its old (half-open) connection died.  That used
+        to be rejected as "bound to a live connection", stranding the
+        client; now the identical hypothesis rebinds idempotently and
+        the new connection takes over the push channel."""
+        async def scenario():
+            server = await start_server()
+            old = await _WireClient.connect(server)
+            await old.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            first = await old.recv_frame()
+            assert first.get("ok")
+            assert first.get("rebound") is False
+            first_conn = server._conn_of["p"]
+            new = await _WireClient.connect(server)
+            await new.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            ack = await new.recv_frame()
+            assert ack.get("ok")
+            assert ack.get("rebound") is True
+            assert ack.get("shard") == first.get("shard")
+            # Exactly one registration — the REGISTER was idempotent.
+            assert len(server.fleet.registrations) == 1
+            # The push channel follows the newest connection; the stale
+            # binding no longer claims the registration.
+            assert server._conn_of["p"] is not first_conn
+            assert "p" not in first_conn.registrations
+            await old.close()
+            await new.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_duplicate_register_different_hypothesis_still_rejected(self):
         async def scenario():
             server = await start_server()
             owner = await _WireClient.connect(server)
             await owner.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
             assert (await owner.recv_frame()).get("ok")
             thief = await _WireClient.connect(server)
-            await thief.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            other = make_hyp_dict()
+            other["runnables"][0]["aliveness_period"] = 99
+            await thief.send(T_REGISTER, name="p", hypothesis=other)
             nack = await thief.recv_frame()
             assert not nack.get("ok")
-            assert "live connection" in nack.get("error")
+            assert "different hypothesis" in nack.get("error")
             await owner.close()
             await thief.close()
             await server.stop()
@@ -399,3 +432,97 @@ class TestTicker:
         # The ACK path asserts v=1 framing end to end; a bump must be
         # deliberate.
         assert PROTOCOL_VERSION == 1
+
+
+class TestQueueAccounting:
+    """Eviction and failure accounting of the shard queues: nothing the
+    queue or a handler does may leave join()/drain() hanging."""
+
+    def test_eviction_then_join_terminates(self):
+        """Regression (flood-then-drain): every evicted item's join()
+        obligation must be consumed by the eviction itself."""
+        from repro.service.server import _DropOldestQueue
+
+        async def scenario():
+            queue = _DropOldestQueue(4)
+            for n in range(25):  # 21 evictions, 4 survivors
+                queue.put_nowait(n)
+            assert queue.dropped == 21
+            assert len(queue) == 4
+            for _ in range(4):
+                await queue.get()
+                queue.task_done()
+            await asyncio.wait_for(queue.join(), timeout=2)
+        asyncio.run(scenario())
+
+    def test_eviction_while_consumer_in_flight(self):
+        from repro.service.server import _DropOldestQueue
+
+        async def scenario():
+            queue = _DropOldestQueue(2)
+            queue.put_nowait("a")
+            queue.put_nowait("b")
+            item = await queue.get()          # "a" in flight
+            queue.put_nowait("c")             # evicts "b"
+            queue.put_nowait("d")             # evicts nothing (room)
+            assert queue.dropped == 0 or queue.dropped == 1
+            queue.task_done()                 # finish "a"
+            while len(queue):
+                await queue.get()
+                queue.task_done()
+            await asyncio.wait_for(queue.join(), timeout=2)
+            assert item == "a"
+        asyncio.run(scenario())
+
+    def test_flood_then_drain_does_not_hang(self):
+        """End-to-end regression: a flood that evicts most of the queue
+        must still let SupervisionServer.drain() return."""
+        async def scenario():
+            server = await start_server(queue_limit=5)
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            assert (await peer.recv_frame()).get("ok")
+            await peer.send(T_HEARTBEAT, name="p",
+                            batch=[["sense", t, "T"] for t in range(200)])
+            await barrier(peer)
+            await asyncio.wait_for(server.drain(), timeout=5)
+            dropped = server.telemetry.counter(
+                "service_dropped_indications_total").value
+            applied = server.fleet.registration("p").indications
+            assert applied + dropped == 200
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
+
+    def test_poisoned_indication_does_not_kill_drain(self):
+        """Regression: a handler exception used to kill the shard's
+        drain task, leaving the queue unconsumed and drain() hanging
+        forever; now the failure is counted and draining continues."""
+        async def scenario():
+            server = await start_server()
+            peer = await _WireClient.connect(server)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            assert (await peer.recv_frame()).get("ok")
+            shard = server.fleet.shard_for("p")
+            original = shard.heartbeat
+
+            def exploding(registration, runnable, time, task=None):
+                if runnable == "poison":
+                    raise RuntimeError("boom")
+                original(registration, runnable, time, task)
+
+            shard.heartbeat = exploding
+            await peer.send(T_HEARTBEAT, name="p", batch=[
+                ["sense", 1, "T"], ["poison", 2, "T"], ["act", 3, "T"],
+            ])
+            await barrier(peer)
+            await asyncio.wait_for(server.drain(), timeout=5)
+            assert server.handler_errors == 1
+            assert server.telemetry.counter(
+                "service_handler_errors_total").value == 1
+            # The items after the poison were still applied.
+            assert server.fleet.registration("p").indications == 2
+            assert server.health()["handler_errors"] == 1
+            await peer.close()
+            await server.stop()
+        asyncio.run(scenario())
