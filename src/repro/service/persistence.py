@@ -67,6 +67,12 @@ _SNAPSHOT_FILE = "snapshot.json"
 _SNAPSHOT_TMP = "snapshot.json.tmp"
 _JOURNAL_FILE = "journal.jsonl"
 _LOCK_FILE = "primary.json"
+_LOCK_TMP = "primary.json.tmp"
+
+#: A lock advertising a refresh cadence that has not been re-stamped
+#: for this many intervals is stale regardless of PID liveness — the OS
+#: may have recycled the dead primary's PID for an unrelated process.
+_LOCK_STALE_REFRESHES = 4.0
 
 
 @dataclass
@@ -104,6 +110,7 @@ class StateStore:
         self.snapshots_written = 0
         self.entries_appended = 0
         self._journal: Optional[JsonlFileSink] = None
+        self._lock_payload: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # recovery side
@@ -167,12 +174,27 @@ class StateStore:
     def write_snapshot(self, fleet_state: Dict[str, Any],
                        **extra: Any) -> Dict[str, Any]:
         """Atomically write a point-in-time snapshot, then truncate the
-        journal (its records are now covered by the snapshot).
+        journal (records the snapshot covers are dead weight).
 
         A crash between the two steps is safe: the snapshot carries the
         sequence number it covers, and recovery skips journal records at
         or below it.
+
+        This is the synchronous composition of the three phases below;
+        an event-loop caller captures the payload on-loop with
+        :meth:`build_snapshot_payload`, offloads the blocking
+        :meth:`write_snapshot_payload` to a thread, then truncates with
+        :meth:`truncate_journal_through` back on-loop.
         """
+        payload = self.build_snapshot_payload(fleet_state, **extra)
+        self.write_snapshot_payload(payload)
+        self.truncate_journal_through(int(payload["seq"]))
+        return payload
+
+    def build_snapshot_payload(self, fleet_state: Dict[str, Any],
+                               **extra: Any) -> Dict[str, Any]:
+        """Capture the snapshot payload (cheap, in-memory): the fleet
+        state plus the sequence number this snapshot covers."""
         payload: Dict[str, Any] = {
             "schema": SNAPSHOT_SCHEMA_VERSION,
             "seq": self.seq,
@@ -180,35 +202,82 @@ class StateStore:
             "fleet": fleet_state,
         }
         payload.update(extra)
+        return payload
+
+    def write_snapshot_payload(self, payload: Dict[str, Any]) -> None:
+        """The blocking half: serialize to a temp file, fsync, and
+        atomically rename over the previous snapshot (a crash mid-write
+        can never corrupt the last good one).  Thread-safe with respect
+        to concurrent :meth:`append` calls — it touches only the
+        snapshot files."""
         tmp_path = os.path.join(self.state_dir, _SNAPSHOT_TMP)
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.snapshot_path)
-        self._truncate_journal()
         self.snapshots_written += 1
-        return payload
 
-    def _truncate_journal(self) -> None:
+    def truncate_journal_through(self, covered_seq: int) -> None:
+        """Drop journal records at or below ``covered_seq``, keeping any
+        appended after the snapshot payload was captured (they happened
+        while an off-loop write was in flight and are NOT covered).
+
+        An empty journal file (rather than an absent one) keeps the
+        follower's bookkeeping simple: the path always exists once the
+        store has been written to.
+        """
+        survivors: List[TelemetryEvent] = []
+        if os.path.exists(self.journal_path):
+            with open(self.journal_path, "r", encoding="utf-8") as handle:
+                events = read_jsonl(handle)
+            survivors = [e for e in events if e.time > covered_seq]
         if self._journal is not None:
             self._journal.close()
             self._journal = None
-        # An empty journal file (rather than an absent one) keeps the
-        # follower's bookkeeping simple: the path always exists once the
-        # store has been written to.
         with open(self.journal_path, "w", encoding="utf-8"):
             pass
+        if survivors:
+            self._journal = JsonlFileSink(
+                self.journal_path, mode="a", fsync=self.fsync
+            )
+            for event in survivors:
+                self._journal.emit(event)
+            self._journal.flush()
 
     # ------------------------------------------------------------------
     # primary liveness lock
     # ------------------------------------------------------------------
     def write_lock(self, **info: Any) -> None:
-        """Advertise this process as the live primary of the state dir."""
+        """Advertise this process as the live primary of the state dir.
+
+        Pass ``refresh_interval=<seconds>`` and call :meth:`refresh_lock`
+        on that cadence to let a standby distinguish a live primary from
+        a dead one whose PID the OS recycled for an unrelated process.
+        """
         payload = {"pid": os.getpid(), "written_unix": _time.time()}
         payload.update(info)
-        with open(self.lock_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        self._lock_payload = payload
+        self._write_lock_payload()
+
+    def refresh_lock(self) -> None:
+        """Re-stamp the advertisement's timestamp (the primary's
+        periodic heartbeat on its own lock).  A no-op before
+        :meth:`write_lock`."""
+        if self._lock_payload is None:
+            return
+        self._lock_payload["written_unix"] = _time.time()
+        self._write_lock_payload()
+
+    def _write_lock_payload(self) -> None:
+        # Temp file + rename: a standby polling the lock concurrently
+        # must never catch a torn write — a transiently unreadable lock
+        # reads as "no primary", which after seen_alive would promote a
+        # standby against a perfectly healthy primary (split brain).
+        tmp_path = os.path.join(self.state_dir, _LOCK_TMP)
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._lock_payload, handle)
+        os.replace(tmp_path, self.lock_path)
 
     def read_lock(self) -> Optional[Dict[str, Any]]:
         """The current lock payload, or ``None`` (absent / unreadable —
@@ -228,12 +297,26 @@ class StateStore:
             pass
 
     def primary_alive(self) -> Optional[bool]:
-        """Probe the advertised primary: ``True`` if its PID is alive,
+        """Probe the advertised primary: ``True`` if it is alive,
         ``False`` if it is provably dead (stale lock after a kill -9),
-        ``None`` when no primary is advertised at all."""
+        ``None`` when no primary is advertised at all.
+
+        A lock advertising a ``refresh_interval`` that has not been
+        re-stamped for :data:`_LOCK_STALE_REFRESHES` intervals is dead
+        regardless of PID liveness: PID recycling can hand the dead
+        primary's number to an unrelated process, and without the
+        timestamp check the standby would wait on that impostor forever.
+        """
         lock = self.read_lock()
         if lock is None:
             return None
+        refresh = lock.get("refresh_interval")
+        if isinstance(refresh, (int, float)) and refresh > 0:
+            written = lock.get("written_unix")
+            if (not isinstance(written, (int, float))
+                    or _time.time() - written
+                    > refresh * _LOCK_STALE_REFRESHES):
+                return False
         pid = lock.get("pid")
         if not isinstance(pid, int) or pid <= 0:
             return False

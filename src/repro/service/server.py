@@ -99,10 +99,14 @@ class _DropOldestQueue:
         if len(self._items) >= self._limit:
             self._items.popleft()
             self.dropped += 1
-            # Eviction consumes the evicted item's join() obligation —
-            # routed through the same accounting as task_done() so the
-            # idle event can never be left unset by an eviction path.
-            self._mark_done()
+            # Eviction consumes the evicted item's join() obligation,
+            # but must NOT route through _mark_done(): setting _idle
+            # wakes pending join() waiters irrevocably, and the item
+            # being enqueued right below is still unprocessed.  A full
+            # queue guarantees _unfinished >= 1, so a bare decrement
+            # (immediately re-incremented by the append) keeps the
+            # count exact without ever touching the event.
+            self._unfinished -= 1
             evicted = 1
         self._items.append(item)
         self._unfinished += 1
@@ -169,6 +173,7 @@ class SupervisionServer:
         fsync: bool = False,
         standby: bool = False,
         standby_poll: float = 0.25,
+        lock_refresh_interval: float = 1.0,
         on_promote=None,
     ) -> None:
         if port is None and unix_path is None:
@@ -208,11 +213,13 @@ class SupervisionServer:
         self.missed_ticks = 0
         self.pushes_dropped = 0
         self.handler_errors = 0
+        self.snapshot_failures = 0
 
         # --- durable state (the restartable daemon) ---
         self.snapshot_interval = snapshot_interval
         self.standby = standby
         self.standby_poll = standby_poll
+        self.lock_refresh_interval = lock_refresh_interval
         self.store: Optional[StateStore] = (
             StateStore(state_dir, fsync=fsync) if state_dir is not None
             else None
@@ -267,6 +274,10 @@ class SupervisionServer:
         self._tm_snapshots = tm.counter(
             "service_snapshots_total",
             "Point-in-time state snapshots written to the state dir")
+        self._tm_snapshot_failures = tm.counter(
+            "service_snapshot_failures_total",
+            "Periodic snapshot attempts that failed (the loop retries "
+            "next interval)")
         self._tm_rebinds = tm.counter(
             "service_register_rebinds_total",
             "REGISTERs that rebound an existing registration (reconnect "
@@ -301,7 +312,10 @@ class SupervisionServer:
                 self._tasks.append(loop.create_task(self._standby_loop()))
                 self._started = True
                 return
-            self.store.write_lock(name=self.name, role="primary")
+            self.store.write_lock(
+                name=self.name, role="primary",
+                refresh_interval=self.lock_refresh_interval,
+            )
             self._lock_owned = True
         await self._bind_and_run()
         self._started = True
@@ -335,6 +349,8 @@ class SupervisionServer:
             self._tasks.append(loop.create_task(self._ticker()))
         if self.store is not None and self.snapshot_interval is not None:
             self._tasks.append(loop.create_task(self._snapshot_loop()))
+        if self.store is not None and self._lock_owned:
+            self._tasks.append(loop.create_task(self._lock_refresh_loop()))
 
     async def stop(self, *, save: Optional[bool] = None) -> None:
         """Shut down cleanly: no task left pending, sockets unlinked.
@@ -489,8 +505,10 @@ class SupervisionServer:
         self._tm_journal_records.inc()
 
     def write_snapshot(self) -> Optional[Dict[str, Any]]:
-        """Write a point-in-time snapshot now (the periodic loop's body;
-        also the final act of a clean :meth:`stop`)."""
+        """Write a point-in-time snapshot now, synchronously (the final
+        act of a clean :meth:`stop`; tests call it directly).  The
+        periodic loop uses :meth:`_write_snapshot_async` instead so the
+        blocking file I/O stays off the event loop."""
         if self.store is None:
             return None
         payload = self.store.write_snapshot(
@@ -499,10 +517,52 @@ class SupervisionServer:
         self._tm_snapshots.inc()
         return payload
 
+    async def _write_snapshot_async(self) -> Optional[Dict[str, Any]]:
+        """One periodic snapshot with the blocking half off-loop.
+
+        The fleet state is serialized on-loop (the fleet is only ever
+        mutated on-loop), the ``json.dump`` + ``fsync`` + rename goes to
+        a worker thread so a large fleet cannot stall heartbeat draining
+        or the check-cycle ticker, and the journal is truncated back
+        on-loop afterwards — keeping any records appended while the
+        thread was writing (their seq is beyond the snapshot's), so a
+        concurrent REGISTER/BYE is never lost to the truncation."""
+        if self.store is None:
+            return None
+        payload = self.store.build_snapshot_payload(
+            self.fleet.snapshot(), name=self.name
+        )
+        await asyncio.to_thread(self.store.write_snapshot_payload, payload)
+        self.store.truncate_journal_through(int(payload["seq"]))
+        self._tm_snapshots.inc()
+        return payload
+
     async def _snapshot_loop(self) -> None:
         while True:
             await asyncio.sleep(self.snapshot_interval)
-            self.write_snapshot()
+            try:
+                await self._write_snapshot_async()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # One failed write (ENOSPC, a transient I/O error on the
+                # state dir) must not kill the loop: durability would
+                # silently degrade to journal-only and the journal would
+                # never be truncated again.  Count it; retry next cycle.
+                self.snapshot_failures += 1
+                self._tm_snapshot_failures.inc()
+
+    async def _lock_refresh_loop(self) -> None:
+        """Periodically re-stamp the primary lock so a standby can tell
+        a live primary from a dead one whose PID the OS recycled."""
+        while True:
+            await asyncio.sleep(self.lock_refresh_interval)
+            try:
+                self.store.refresh_lock()
+            except OSError:
+                # A transient I/O failure must not kill the heartbeat;
+                # the staleness threshold tolerates several misses.
+                pass
 
     def _rebuild_fleet(self) -> None:
         """Replace the fleet with an empty, fully re-wired one (the
@@ -540,6 +600,14 @@ class SupervisionServer:
                 self._apply_journal_entry(event)
             if entries:
                 self._hook_restored()
+            # Keep the append cursor in lockstep with the follower:
+            # store.seq was last set by load() at startup, and every
+            # record applied since came through the follower.  Without
+            # this, post-promotion appends would reuse sequence numbers
+            # the dead primary already journaled (or fall at-or-below
+            # the adopted snapshot's seq), and the next recovery would
+            # silently drop them.
+            self.store.seq = max(self.store.seq, self._follower.applied_seq)
             alive = self.store.primary_alive()
             if alive is True:
                 seen_alive = True
@@ -562,9 +630,18 @@ class SupervisionServer:
             for event in entries:
                 self._apply_journal_entry(event)
             self._hook_restored()
+            # Adopt the follower's position as the append cursor, so
+            # records journaled after promotion continue the primary's
+            # sequence instead of reusing it (a reused seq sorts
+            # at-or-below the on-disk snapshot and is dropped by the
+            # next recovery).
+            self.store.seq = max(self.store.seq, self._follower.applied_seq)
         self.promoted = True
         self.standby = False
-        self.store.write_lock(name=self.name, role="promoted-standby")
+        self.store.write_lock(
+            name=self.name, role="promoted-standby",
+            refresh_interval=self.lock_refresh_interval,
+        )
         self._lock_owned = True
         await self._bind_and_run()
         if self._on_promote is not None:
@@ -853,6 +930,7 @@ class SupervisionServer:
                 state_dir=self.store.state_dir,
                 journal_seq=self.store.seq,
                 snapshots_written=self.store.snapshots_written,
+                snapshot_failures=self.snapshot_failures,
                 restored_registrations=self.restored_registrations,
             )
         return stats

@@ -127,6 +127,53 @@ class TestStateStore:
         assert store.read_lock() is None
         assert store.primary_alive() is None
 
+    def test_stale_refreshed_lock_is_dead_despite_live_pid(self, tmp_path):
+        """Regression (PID recycling): a lock advertising a refresh
+        cadence that stopped being re-stamped reads as dead even when
+        its PID belongs to a live — possibly unrelated — process."""
+        store = make_store(tmp_path)
+        store.write_lock(name="me", refresh_interval=0.01)
+        assert store.primary_alive() is True  # freshly stamped
+        lock = store.read_lock()
+        lock["written_unix"] -= 60.0  # our own (live) pid, stale stamp
+        with open(store.lock_path, "w", encoding="utf-8") as handle:
+            json.dump(lock, handle)
+        assert store.primary_alive() is False
+        # A refresh re-stamps the timestamp and revives the lock.
+        store.refresh_lock()
+        assert store.primary_alive() is True
+        # Locks without a cadence (legacy) stay PID-only.
+        store.write_lock(name="me")
+        assert store.primary_alive() is True
+
+    def test_lock_write_is_atomic(self, tmp_path):
+        """The standby polls the lock concurrently: writes must go
+        through temp-file + rename so it can never catch a torn write
+        (which would read as "no primary" and promote a standby against
+        a healthy primary)."""
+        store = make_store(tmp_path)
+        store.write_lock(name="me", refresh_interval=1.0)
+        store.refresh_lock()
+        assert not os.path.exists(store.lock_path + ".tmp")
+        assert store.read_lock()["pid"] == os.getpid()
+
+    def test_truncation_keeps_records_beyond_snapshot_seq(self, tmp_path):
+        """The off-loop snapshot path: a record appended while the
+        snapshot file write was in flight has a seq beyond the payload's
+        and must survive the truncation."""
+        store = make_store(tmp_path)
+        store.append(JOURNAL_REGISTER, "a", hypothesis={})
+        payload = store.build_snapshot_payload({"fake": "fleet"})
+        assert payload["seq"] == 1
+        # Concurrent append while the "thread" writes the snapshot.
+        store.append(JOURNAL_REGISTER, "b", hypothesis={})
+        store.write_snapshot_payload(payload)
+        store.truncate_journal_through(payload["seq"])
+        store.close()
+        restored = make_store(tmp_path).load()
+        assert restored.snapshot["fleet"] == {"fake": "fleet"}
+        assert [(e.subject, e.time) for e in restored.entries] == [("b", 2)]
+
 
 class TestJournalFollower:
     def test_tails_journal_incrementally(self, tmp_path):
@@ -286,6 +333,35 @@ class TestServerRestore:
             await server.stop()
         asyncio.run(scenario())
 
+    def test_snapshot_loop_survives_write_failure(self, tmp_path):
+        """Regression: one failed snapshot write (ENOSPC, transient I/O
+        error) used to kill the periodic loop silently, degrading
+        durability to journal-only forever.  Now the failure is counted
+        and the loop keeps snapshotting."""
+        async def scenario():
+            server = await start_server(
+                tmp_path, snapshot_interval=0.02, tick_interval=None)
+            original = server.store.write_snapshot_payload
+            failures_left = [2]
+
+            def flaky(payload):
+                if failures_left[0] > 0:
+                    failures_left[0] -= 1
+                    raise OSError("disk full")
+                original(payload)
+
+            server.store.write_snapshot_payload = flaky
+            for _ in range(500):
+                await asyncio.sleep(0.01)
+                if server.store.snapshots_written >= 1:
+                    break
+            assert server.snapshot_failures == 2
+            assert server.store.snapshots_written >= 1
+            assert server.health()["snapshot_failures"] == 2
+            server.store.write_snapshot_payload = original
+            await server.stop()
+        asyncio.run(scenario())
+
 
 class TestStandby:
     def test_standby_binds_nothing_until_promoted(self, tmp_path):
@@ -359,6 +435,57 @@ class TestStandby:
             assert ack.get("ok") and ack.get("rebound") is True
             await client.close()
             await standby.stop()
+        asyncio.run(scenario())
+
+    def test_promoted_standby_continues_journal_sequence(self, tmp_path):
+        """Regression: the standby's store.seq was only set by load() at
+        startup; journal records and snapshots the follower applied
+        afterwards never advanced it.  A promoted standby then journaled
+        new records with already-used sequence numbers at-or-below the
+        on-disk snapshot's seq — and the next recovery silently dropped
+        them (lost post-failover registrations)."""
+        async def scenario():
+            primary = await start_server(tmp_path)
+            peer = await _WireClient.connect(primary)
+            await peer.send(T_REGISTER, name="p", hypothesis=make_hyp_dict())
+            assert (await peer.recv_frame()).get("ok")
+
+            # Standby starts now: load() sees only journal seq 1.
+            standby = SupervisionServer(
+                port=0, tick_interval=None, standby=True,
+                state_dir=str(tmp_path / "state"),
+                snapshot_interval=None, standby_poll=0.01)
+            await standby.start()
+
+            # The primary advances the sequence past the standby's
+            # loaded position, then snapshots (journal truncated,
+            # snapshot seq = 2).
+            await peer.send(T_REGISTER, name="q", hypothesis=make_hyp_dict())
+            assert (await peer.recv_frame()).get("ok")
+            primary.write_snapshot()
+            for _ in range(500):
+                await asyncio.sleep(0.01)
+                if standby._follower.applied_seq >= 2:
+                    break
+            assert standby._follower.applied_seq >= 2
+
+            await peer.close()
+            await primary.stop(save=False)
+            await standby.promote()
+            # The append cursor continued the primary's sequence.
+            assert standby.store.seq >= standby._follower.applied_seq
+
+            # A post-failover registration journals beyond the snapshot.
+            client = await _WireClient.connect(standby)
+            await client.send(T_REGISTER, name="r",
+                              hypothesis=make_hyp_dict())
+            assert (await client.recv_frame()).get("ok")
+            await client.close()
+            await standby.stop(save=False)  # crash before any snapshot
+
+            revived = await start_server(tmp_path)
+            assert set(revived.fleet.registrations) == {"p", "q", "r"}
+            await revived.stop()
         asyncio.run(scenario())
 
     def test_standby_promotes_when_clean_shutdown_lock_vanishes(

@@ -455,6 +455,28 @@ class TestQueueAccounting:
             await asyncio.wait_for(queue.join(), timeout=2)
         asyncio.run(scenario())
 
+    def test_eviction_does_not_wake_pending_join(self):
+        """Regression: eviction used to route through the task_done
+        path, which momentarily set the idle event (a full queue of 1
+        drops to 0 unfinished before the new item is counted) —
+        Event.set() wakes waiters irrevocably, so a concurrent join()
+        could return while the just-enqueued indication was still
+        unprocessed, making a SYNC ack lie."""
+        from repro.service.server import _DropOldestQueue
+
+        async def scenario():
+            queue = _DropOldestQueue(1)
+            queue.put_nowait("a")
+            waiter = asyncio.ensure_future(queue.join())
+            await asyncio.sleep(0)            # waiter parked on idle
+            assert queue.put_nowait("b") == 1  # evicts "a"
+            await asyncio.sleep(0)
+            assert not waiter.done()          # "b" is still unprocessed
+            assert await queue.get() == "b"
+            queue.task_done()
+            await asyncio.wait_for(waiter, timeout=2)
+        asyncio.run(scenario())
+
     def test_eviction_while_consumer_in_flight(self):
         from repro.service.server import _DropOldestQueue
 
